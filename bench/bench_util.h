@@ -1,0 +1,26 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace wcores {
+
+// Results land next to the binary in bench_results/ for inspection.
+inline void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace wcores
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,172 @@
+// Microbenchmarks of the scheduler's hot operations: the costs that motivate
+// per-core runqueues and infrequent load balancing (§2.2), measured in real
+// (host) time with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cfs_rq.h"
+#include "src/core/rbtree.h"
+#include "src/core/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+namespace {
+
+// ---- Red-black runqueue structure -------------------------------------------
+
+struct BenchItem {
+  uint64_t key;
+  int tid;
+  RbNode node;
+};
+
+struct BenchItemLess {
+  bool operator()(const BenchItem& a, const BenchItem& b) const {
+    if (a.key != b.key) {
+      return a.key < b.key;
+    }
+    return a.tid < b.tid;
+  }
+};
+
+void BM_RbTreeInsertErase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<BenchItem> items(n);
+  Rng rng(1);
+  for (int i = 0; i < n; ++i) {
+    items[i].key = rng.Next();
+    items[i].tid = i;
+  }
+  RbTree<BenchItem, &BenchItem::node, BenchItemLess> tree;
+  for (int i = 0; i < n - 1; ++i) {
+    tree.Insert(&items[i]);
+  }
+  for (auto _ : state) {
+    tree.Insert(&items[n - 1]);
+    tree.Erase(&items[n - 1]);
+  }
+  state.SetLabel("tree size " + std::to_string(n));
+}
+BENCHMARK(BM_RbTreeInsertErase)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_RbTreeLeftmost(benchmark::State& state) {
+  const int n = 1024;
+  std::vector<BenchItem> items(n);
+  Rng rng(1);
+  RbTree<BenchItem, &BenchItem::node, BenchItemLess> tree;
+  for (int i = 0; i < n; ++i) {
+    items[i].key = rng.Next();
+    items[i].tid = i;
+    tree.Insert(&items[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Leftmost());
+  }
+}
+BENCHMARK(BM_RbTreeLeftmost);
+
+// ---- CFS runqueue ------------------------------------------------------------
+
+void BM_RunqueueEnqueueDequeue(benchmark::State& state) {
+  SchedTunables tunables = SchedTunables::ForCpus(64);
+  CfsRunqueue rq(0, &tunables);
+  const int n = static_cast<int>(state.range(0));
+  std::deque<SchedEntity> entities(n);
+  for (int i = 0; i < n; ++i) {
+    entities[i].tid = i;
+    entities[i].SetNice(0);
+    entities[i].vruntime = static_cast<Time>(i) * Milliseconds(1);
+    rq.Enqueue(&entities[i], 0, CfsRunqueue::EnqueueKind::kNew);
+  }
+  Time now = Milliseconds(1);
+  for (auto _ : state) {
+    SchedEntity* se = &entities[0];
+    rq.DequeueQueued(se, now);
+    rq.Enqueue(se, now, CfsRunqueue::EnqueueKind::kMigrate);
+    now += 1;
+  }
+  state.SetLabel("rq size " + std::to_string(n));
+}
+BENCHMARK(BM_RunqueueEnqueueDequeue)->Arg(2)->Arg(16)->Arg(128);
+
+// ---- Whole-scheduler paths ---------------------------------------------------
+
+class NullClient : public SchedClient {
+ public:
+  void KickCpu(CpuId) override {}
+  void NohzKick(CpuId) override {}
+};
+
+// One wakeup through select_task_rq + enqueue, then block again.
+void BM_WakeupPlacement(benchmark::State& state) {
+  Topology topo = Topology::Bulldozer8x8();
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(topo.n_cores()), &client);
+  ThreadParams params;
+  ThreadId tid = sched.CreateThread(0, params);
+  sched.PickNext(0, sched.Entity(tid).cpu);
+  sched.BlockCurrent(1, sched.Entity(tid).cpu);
+  Time now = 2;
+  for (auto _ : state) {
+    CpuId cpu = sched.Wake(now, tid, 0);
+    sched.PickNext(now + 1, cpu);
+    sched.BlockCurrent(now + 2, cpu);
+    now += 3;
+  }
+}
+BENCHMARK(BM_WakeupPlacement);
+
+// One full periodic-balance pass over all domains of one core on a machine
+// with 10 runnable threads per core.
+void BM_PeriodicBalancePass(benchmark::State& state) {
+  Topology topo = Topology::Bulldozer8x8();
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(topo.n_cores()), &client);
+  Time now = 0;
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    for (int i = 0; i < 10; ++i) {
+      ThreadParams params;
+      params.parent_cpu = c;
+      sched.CreateThread(now, params);
+    }
+    sched.PickNext(now, c);
+  }
+  now = Milliseconds(10);
+  for (auto _ : state) {
+    sched.Tick(now, 0);
+    now += Milliseconds(200);  // Always past every balance interval.
+  }
+  state.SetLabel("64 cores, 640 threads");
+}
+BENCHMARK(BM_PeriodicBalancePass);
+
+// A full simulated second of a busy 64-core machine: events per second of
+// host time is the simulator's throughput metric.
+void BM_SimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Topology topo = Topology::Bulldozer8x8();
+    Simulator::Options opts;
+    opts.seed = 5;
+    auto sim = std::make_unique<Simulator>(topo, opts);
+    for (int i = 0; i < 128; ++i) {
+      Simulator::SpawnParams params;
+      params.parent_cpu = i % topo.n_cores();
+      sim->Spawn(std::make_unique<ScriptBehavior>(
+                     std::vector<Action>{ComputeAction{Milliseconds(2)},
+                                         SleepAction{Microseconds(500)}},
+                     /*repeat=*/100000),
+                 params);
+    }
+    state.ResumeTiming();
+    sim->Run(Seconds(1));
+    state.counters["events"] = static_cast<double>(sim->queue().executed_count());
+  }
+}
+BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wcores

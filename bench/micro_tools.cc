@@ -1,0 +1,123 @@
+// Microbenchmarks of the paper's tools (§4): the sanity checker's pass cost
+// (the paper reports <0.5% overhead with 10,000 threads at S = 1s) and the
+// visualization recorder's event cost (~20 bytes and a few nanoseconds per
+// event; the commercial database produced ~186,200 events/s).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/tools/heatmap.h"
+#include "src/tools/recorder.h"
+#include "src/tools/sanity_checker.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+namespace {
+
+// One Algorithm-2 pass over a 64-core machine loaded with `threads` threads.
+void BM_SanityCheckerPass(benchmark::State& state) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.seed = 11;
+  Simulator sim(topo, opts);
+  const int threads = static_cast<int>(state.range(0));
+  for (int i = 0; i < threads; ++i) {
+    Simulator::SpawnParams params;
+    params.parent_cpu = i % topo.n_cores();
+    sim.Spawn(std::make_unique<ScriptBehavior>(
+                  std::vector<Action>{ComputeAction{Seconds(3600)}}),
+              params);
+  }
+  sim.Run(Milliseconds(50));  // Let queues settle.
+  SanityChecker checker(&sim);
+  CpuId idle_cpu;
+  CpuId busy_cpu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.CheckOnce(&idle_cpu, &busy_cpu));
+  }
+  // The paper's overhead model: one pass per S = 1s of machine time. With a
+  // pass under ~50us even at 10,000 threads, that is far below the 0.5%
+  // budget the paper reports.
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_SanityCheckerPass)->Arg(64)->Arg(1000)->Arg(10000);
+
+// Appending one event to the in-memory trace array.
+void BM_RecorderAppend(benchmark::State& state) {
+  EventRecorder recorder(/*capacity=*/1 << 24);
+  Time now = 0;
+  for (auto _ : state) {
+    recorder.OnNrRunning(now, static_cast<CpuId>(now % 64), static_cast<int>(now % 5));
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderAppend);
+
+void BM_RecorderConsideredAppend(benchmark::State& state) {
+  EventRecorder recorder(/*capacity=*/1 << 24);
+  CpuSet considered = CpuSet::FirstN(64);
+  Time now = 0;
+  for (auto _ : state) {
+    recorder.OnConsidered(now, 0, considered, ConsideredKind::kPeriodicBalance);
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderConsideredAppend);
+
+// Rendering a Figure-2-sized heatmap from a trace.
+void BM_HeatmapBuild(benchmark::State& state) {
+  EventRecorder recorder;
+  Rng rng(3);
+  for (Time t = 0; t < Seconds(1); t += Microseconds(100)) {
+    recorder.OnNrRunning(t, static_cast<CpuId>(rng.NextBelow(64)),
+                         static_cast<int>(rng.NextBelow(4)));
+  }
+  for (auto _ : state) {
+    Heatmap map = BuildHeatmap(recorder.events(), TraceEvent::Kind::kNrRunning, 64, 0, Seconds(1),
+                               110);
+    benchmark::DoNotOptimize(map.cells.data());
+  }
+  state.SetLabel(std::to_string(recorder.events().size()) + " events");
+}
+BENCHMARK(BM_HeatmapBuild);
+
+// End-to-end recording overhead: the same busy simulation with and without
+// the recorder attached; compare wall times of the two benchmarks.
+void RunBusySim(TraceSink* sink) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.seed = 13;
+  Simulator sim(topo, opts, sink);
+  for (int i = 0; i < 128; ++i) {
+    Simulator::SpawnParams params;
+    params.parent_cpu = i % topo.n_cores();
+    sim.Spawn(std::make_unique<ScriptBehavior>(
+                  std::vector<Action>{ComputeAction{Milliseconds(1)},
+                                      SleepAction{Microseconds(300)}},
+                  /*repeat=*/1000),
+              params);
+  }
+  sim.Run(Seconds(2));
+}
+
+void BM_SimWithoutRecorder(benchmark::State& state) {
+  for (auto _ : state) {
+    RunBusySim(nullptr);
+  }
+}
+BENCHMARK(BM_SimWithoutRecorder)->Unit(benchmark::kMillisecond);
+
+void BM_SimWithRecorder(benchmark::State& state) {
+  for (auto _ : state) {
+    EventRecorder recorder(1 << 24);
+    RunBusySim(&recorder);
+    state.counters["events"] = static_cast<double>(recorder.events().size());
+  }
+}
+BENCHMARK(BM_SimWithRecorder)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wcores

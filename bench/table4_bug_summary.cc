@@ -1,0 +1,144 @@
+// Table 4: the four bugs, with the maximum performance impact measured in
+// this reproduction next to the paper's numbers.
+//
+// The worst cases are re-run here directly:
+//  - Group Imbalance: lu (60 threads) + four single-threaded R processes;
+//    the paper reports lu 13x faster with the fix.
+//  - Scheduling Group Construction: lu pinned on nodes 1,2 (27x).
+//  - Overload-on-Wakeup: TPC-H Q18 (22%).
+//  - Missing Scheduling Domains: lu with 64 threads after hotplug (138x).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/simulator.h"
+#include "src/topo/topology.h"
+#include "src/workloads/behaviors.h"
+#include "src/workloads/make_r.h"
+#include "src/workloads/nas.h"
+#include "src/workloads/tpch.h"
+#include "src/workloads/transient.h"
+
+namespace wcores {
+namespace {
+
+// lu with 60 threads + 4 single-threaded R processes (§3.1): with the
+// average-load comparison, the R nodes' idle cores never steal lu threads.
+double LuWithRProcesses(bool fixed) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.fix_group_imbalance = fixed;
+  opts.seed = 4001;
+  Simulator sim(topo, opts);
+
+  // Four R processes on four distinct nodes.
+  for (int r = 0; r < 4; ++r) {
+    Simulator::SpawnParams params;
+    params.autogroup = sim.CreateAutogroup();
+    params.parent_cpu = 2 * r * topo.cores_per_node();
+    sim.Spawn(std::make_unique<CpuHogBehavior>(Seconds(30)), params);
+  }
+  NasConfig config;
+  config.app = NasApp::kLu;
+  config.threads = 60;
+  config.spawn_cpu = topo.CpusOfNode(1).First();
+  config.scale = 0.2;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  sim.Run(Seconds(120));
+  if (!wl.Finished()) {
+    std::fprintf(stderr, "WARNING: lu + 4R did not finish\n");
+    return 120.0;
+  }
+  return ToSeconds(wl.CompletionTime());
+}
+
+double PinnedLu(bool fixed) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.fix_group_construction = fixed;
+  opts.seed = 4002;
+  Simulator sim(topo, opts);
+  NasConfig config;
+  config.app = NasApp::kLu;
+  config.threads = 16;
+  config.affinity = topo.CpusOfNode(1) | topo.CpusOfNode(2);
+  config.spawn_cpu = topo.CpusOfNode(1).First();
+  config.scale = 0.3;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  sim.Run(Seconds(120));
+  return ToSeconds(wl.CompletionTime());
+}
+
+double TpchQ18(bool fixed) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.fix_overload_wakeup = fixed;
+  opts.features.autogroup_enabled = false;
+  opts.seed = 4003;
+  Simulator sim(topo, opts);
+  TpchConfig config;
+  config.queries = {TpchQuery18(/*scale=*/6.0)};
+  TpchWorkload wl(&sim, config);
+  wl.Setup();
+  TransientThreadGenerator::Options topts;
+  TransientThreadGenerator transients(&sim, topts);
+  transients.Start();
+  sim.Run(Seconds(60));
+  return ToSeconds(wl.TotalTime());
+}
+
+double HotplugLu(bool fixed) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.fix_missing_domains = fixed;
+  opts.seed = 4004;
+  Simulator sim(topo, opts);
+  sim.SetCpuOnline(3, false);
+  sim.SetCpuOnline(3, true);
+  NasConfig config;
+  config.app = NasApp::kLu;
+  config.threads = 64;
+  config.spawn_cpu = 0;
+  config.scale = 0.2;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  sim.Run(Seconds(600));
+  if (!wl.Finished()) {
+    std::fprintf(stderr, "WARNING: hotplug lu did not finish\n");
+    return 600.0;
+  }
+  return ToSeconds(wl.CompletionTime());
+}
+
+}  // namespace
+}  // namespace wcores
+
+int main() {
+  using namespace wcores;
+  PrintHeader("Table 4: bugs found in the scheduler using our tools",
+              "EuroSys'16 Table 4 — maximum measured performance impact per bug");
+
+  double gi_buggy = LuWithRProcesses(false);
+  double gi_fixed = LuWithRProcesses(true);
+  double gc_buggy = PinnedLu(false);
+  double gc_fixed = PinnedLu(true);
+  double ow_buggy = TpchQ18(false);
+  double ow_fixed = TpchQ18(true);
+  double md_buggy = HotplugLu(false);
+  double md_fixed = HotplugLu(true);
+
+  std::printf("%-28s %-10s %-26s %14s %10s\n", "name", "kernels", "impacted applications",
+              "measured", "paper");
+  std::printf("%-28s %-10s %-26s %13.2fx %9s\n", "Group Imbalance", "2.6.38+", "all",
+              gi_buggy / gi_fixed, "13x");
+  std::printf("%-28s %-10s %-26s %13.2fx %9s\n", "Scheduling Group Construction", "3.9+", "all",
+              gc_buggy / gc_fixed, "27x");
+  std::printf("%-28s %-10s %-26s %12.1f%% %9s\n", "Overload-on-Wakeup", "2.6.32+",
+              "apps that sleep or wait", (ow_buggy - ow_fixed) / ow_buggy * 100.0, "22%");
+  std::printf("%-28s %-10s %-26s %13.2fx %9s\n", "Missing Scheduling Domains", "3.19+", "all",
+              md_buggy / md_fixed, "138x");
+  std::printf("\n(worst-case workloads: lu+4R, pinned lu, TPC-H Q18, 64-thread lu after "
+              "hotplug)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The §3.4 incident, replayed end to end: an administrator disables a core
+// through the /proc-like interface and re-enables it; from then on the
+// scheduler never balances across NUMA nodes again, and the next 64-thread
+// job runs on a single node. The online sanity checker catches it and the
+// profiler explains why every balancing call fails.
+//
+//   $ ./examples/hotplug_incident [--fixed]
+#include <cstdio>
+#include <cstring>
+
+#include "src/sim/simulator.h"
+#include "src/tools/heatmap.h"
+#include "src/tools/profiler.h"
+#include "src/tools/recorder.h"
+#include "src/tools/sanity_checker.h"
+#include "src/topo/domains.h"
+#include "src/topo/topology.h"
+#include "src/workloads/nas.h"
+
+using namespace wcores;
+
+int main(int argc, char** argv) {
+  bool fixed = argc > 1 && std::strcmp(argv[1], "--fixed") == 0;
+
+  Topology topo = Topology::Bulldozer8x8();
+  EventRecorder recorder;
+  Simulator::Options options;
+  options.features.fix_missing_domains = fixed;
+  options.seed = 123;
+  Simulator sim(topo, options, &recorder);
+
+  std::printf("scheduling domains of core 0 before hotplug:\n%s\n",
+              DomainTreeToString(sim.sched().Domains(0)).c_str());
+
+  // The incident: disable core 3, bring it back.
+  sim.SetCpuOnline(3, false);
+  sim.SetCpuOnline(3, true);
+  std::printf("after disabling + re-enabling core 3 (%s):\n%s\n",
+              fixed ? "fixed regeneration" : "stock, cross-NUMA step dropped",
+              DomainTreeToString(sim.sched().Domains(0)).c_str());
+
+  // The next job: 64 threads of lu-like work forked from one root process.
+  NasConfig config;
+  config.app = NasApp::kMg;
+  config.threads = 64;
+  config.spawn_cpu = 0;
+  config.scale = 0.2;
+  NasWorkload job(&sim, config);
+  job.Setup();
+
+  SanityChecker::Options copts;
+  copts.check_interval = Milliseconds(200);
+  SanityChecker checker(&sim, copts);
+  checker.Start();
+
+  SchedStats before = sim.sched().stats();
+  sim.Run(Seconds(60));
+
+  std::printf("job completion: %.3fs (%s)\n", ToSeconds(job.CompletionTime()),
+              job.Finished() ? "finished" : "STILL RUNNING");
+  std::printf("sanity checker confirmed %llu violations\n",
+              static_cast<unsigned long long>(checker.violations().size()));
+  if (!checker.violations().empty()) {
+    std::printf("%s\n", SanityChecker::Report(checker.violations().front()).c_str());
+  }
+  BalanceProfile profile = ProfileFromStats(before, sim.sched().stats(), 0, sim.Now());
+  std::printf("%s", ProfileReport(profile).c_str());
+  std::printf("\nTry:  %s --fixed\n", argv[0]);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Autogroups (§2.2.1).
+//
+// Group scheduling brings fairness between groups of threads: when a thread
+// belongs to a group, "its load is further divided by the total number of
+// threads in its cgroup". The autogroup feature automatically assigns
+// processes from different ttys to different groups. This division is the
+// root cause of the Group Imbalance bug: a thread of a 64-thread `make` has
+// a load ~64x smaller than a single-threaded R process at equal niceness.
+#ifndef SRC_CORE_AUTOGROUP_H_
+#define SRC_CORE_AUTOGROUP_H_
+
+namespace wcores {
+
+using AutogroupId = int;
+
+// Group 0 always exists and is the root group (threads not assigned to any
+// tty/container live there; its size still divides their load).
+constexpr AutogroupId kRootAutogroup = 0;
+
+struct Autogroup {
+  AutogroupId id = kRootAutogroup;
+  int nr_threads = 0;
+
+  double divisor() const { return nr_threads > 1 ? static_cast<double>(nr_threads) : 1.0; }
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_AUTOGROUP_H_

@@ -1,0 +1,162 @@
+#include "src/core/cfs_rq.h"
+
+#include "src/simkit/check.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcores {
+
+void CfsRunqueue::Enqueue(SchedEntity* se, Time now, EnqueueKind kind) {
+  WC_CHECK(!se->on_rq, "entity already runnable");
+  UpdateCurr(now);
+
+  switch (kind) {
+    case EnqueueKind::kWakeup: {
+      // Sleeper credit (GENTLE_FAIR_SLEEPERS): a waking thread is placed
+      // half a latency period behind min_vruntime so it gets scheduled
+      // soon, but cannot monopolize the CPU after a long sleep.
+      Time floor = min_vruntime_;
+      Time credit = tunables_->sched_latency / 2;
+      Time placed = floor > credit ? floor - credit : 0;
+      se->vruntime = std::max(se->vruntime, placed);
+      break;
+    }
+    case EnqueueKind::kNew:
+      se->vruntime = std::max(se->vruntime, min_vruntime_);
+      break;
+    case EnqueueKind::kMigrate:
+      // Caller re-based: se->vruntime -= src.min_vruntime; += dst.min_vruntime.
+      break;
+    case EnqueueKind::kPutPrev:
+      break;
+  }
+
+  se->on_rq = true;
+  se->running = false;
+  se->cpu = cpu_;
+  tree_.Insert(se);
+  total_weight_ += se->weight;
+  UpdateMinVruntime();
+}
+
+void CfsRunqueue::DequeueQueued(SchedEntity* se, Time now) {
+  WC_CHECK(se->on_rq && !se->running && se->cpu == cpu_, "dequeue of entity not queued here");
+  UpdateCurr(now);
+  tree_.Erase(se);
+  total_weight_ -= se->weight;
+  se->on_rq = false;
+  se->last_dequeued = now;
+  UpdateMinVruntime();
+}
+
+SchedEntity* CfsRunqueue::PickNext(Time now) {
+  WC_CHECK(curr_ == nullptr, "previous curr not put back");
+  SchedEntity* next = tree_.Leftmost();
+  if (next == nullptr) {
+    return nullptr;
+  }
+  tree_.Erase(next);
+  curr_ = next;
+  next->running = true;
+  next->exec_start = now;
+  next->slice_exec = 0;
+  return next;
+}
+
+void CfsRunqueue::UpdateCurr(Time now) {
+  if (curr_ == nullptr) {
+    return;
+  }
+  Time delta = now - curr_->exec_start;
+  if (delta == 0) {
+    return;
+  }
+  curr_->exec_start = now;
+  curr_->sum_exec_runtime += delta;
+  curr_->slice_exec += delta;
+  curr_->vruntime += curr_->DeltaExecToVruntime(delta);
+  UpdateMinVruntime();
+}
+
+void CfsRunqueue::PutCurr(Time now, PutKind kind) {
+  WC_CHECK(curr_ != nullptr, "no running entity");
+  UpdateCurr(now);
+  SchedEntity* prev = curr_;
+  curr_ = nullptr;
+  prev->running = false;
+  prev->last_ran = now;
+  total_weight_ -= prev->weight;
+  if (kind == PutKind::kStillRunnable) {
+    prev->on_rq = false;  // Enqueue() re-sets it.
+    Enqueue(prev, now, EnqueueKind::kPutPrev);
+  } else {
+    prev->on_rq = false;
+    prev->last_dequeued = now;
+    UpdateMinVruntime();
+  }
+}
+
+bool CfsRunqueue::HasStealableFor(CpuId cpu) const {
+  bool found = false;
+  tree_.ForEach([&](const SchedEntity* se) {
+    if (se->affinity.Test(cpu)) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+Time CfsRunqueue::TimesliceFor(const SchedEntity& se) const {
+  uint64_t total = total_weight_;
+  if (!se.on_rq && !se.running) {
+    total += se.weight;
+  }
+  if (total == 0) {
+    return tunables_->sched_latency;
+  }
+  Time slice = static_cast<Time>(static_cast<double>(tunables_->sched_latency) *
+                                 static_cast<double>(se.weight) / static_cast<double>(total));
+  return std::max(slice, tunables_->min_granularity);
+}
+
+bool CfsRunqueue::CheckPreemptTick() const {
+  if (curr_ == nullptr || tree_.Empty()) {
+    return false;
+  }
+  if (curr_->slice_exec >= TimesliceFor(*curr_)) {
+    return true;
+  }
+  // A thread far ahead in vruntime yields even mid-slice.
+  const SchedEntity* left = tree_.Leftmost();
+  return curr_->vruntime > left->vruntime &&
+         curr_->vruntime - left->vruntime > TimesliceFor(*curr_);
+}
+
+bool CfsRunqueue::CheckPreemptWakeup(const SchedEntity& woken, Time now) const {
+  if (curr_ == nullptr) {
+    return true;  // Idle cpu: anything "preempts".
+  }
+  (void)now;
+  // Preempt if the woken thread is behind curr by more than the wakeup
+  // granularity (kernel wakeup_preempt_entity).
+  return curr_->vruntime > woken.vruntime &&
+         curr_->vruntime - woken.vruntime > tunables_->wakeup_granularity;
+}
+
+void CfsRunqueue::UpdateMinVruntime() {
+  Time candidate = min_vruntime_;
+  const SchedEntity* left = tree_.Leftmost();
+  if (curr_ != nullptr && left != nullptr) {
+    candidate = std::max(candidate, std::min(curr_->vruntime, left->vruntime));
+  } else if (curr_ != nullptr) {
+    candidate = std::max(candidate, curr_->vruntime);
+  } else if (left != nullptr) {
+    candidate = std::max(candidate, left->vruntime);
+  }
+  min_vruntime_ = candidate;
+}
+
+}  // namespace wcores

@@ -1,0 +1,124 @@
+// The per-core CFS runqueue (§2.1-2.2).
+//
+// "Scalability concerns dictate using per-core runqueues": each core owns a
+// red-black tree of runnable entities sorted by vruntime plus the currently
+// running entity (kept outside the tree, as in the kernel). Picking the next
+// thread to run takes the leftmost node.
+#ifndef SRC_CORE_CFS_RQ_H_
+#define SRC_CORE_CFS_RQ_H_
+
+#include <cstdint>
+
+#include "src/core/entity.h"
+#include "src/core/features.h"
+#include "src/core/rbtree.h"
+#include "src/simkit/cpuset.h"
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+class CfsRunqueue {
+ public:
+  CfsRunqueue(CpuId cpu, const SchedTunables* tunables) : cpu_(cpu), tunables_(tunables) {}
+  CfsRunqueue(const CfsRunqueue&) = delete;
+  CfsRunqueue& operator=(const CfsRunqueue&) = delete;
+
+  CpuId cpu() const { return cpu_; }
+
+  // ---- Entity placement -------------------------------------------------
+
+  enum class EnqueueKind {
+    kWakeup,   // Thread waking from sleep: receives the sleeper credit.
+    kNew,      // Freshly forked thread: starts at min_vruntime.
+    kMigrate,  // Moved by the balancer: vruntime already re-based by caller.
+    kPutPrev,  // Previously running thread being requeued after preemption.
+  };
+
+  void Enqueue(SchedEntity* se, Time now, EnqueueKind kind);
+
+  // Removes a *queued* (not running) entity, e.g. when stolen.
+  void DequeueQueued(SchedEntity* se, Time now);
+
+  // ---- The running entity ----------------------------------------------
+
+  SchedEntity* curr() const { return curr_; }
+
+  // Dequeues the leftmost entity and makes it curr. Pre: no curr.
+  SchedEntity* PickNext(Time now);
+
+  // Accounts curr's runtime into vruntime/min_vruntime. Call at ticks and
+  // before any decision that reads vruntime or load.
+  void UpdateCurr(Time now);
+
+  // Stops running curr. The entity is re-enqueued (kStillRunnable) or
+  // removed entirely (thread blocked or exited).
+  enum class PutKind { kStillRunnable, kBlocked };
+  void PutCurr(Time now, PutKind kind);
+
+  // ---- Introspection -----------------------------------------------------
+
+  // Queued + running, like the kernel's rq->nr_running.
+  int nr_running() const { return static_cast<int>(tree_.Size()) + (curr_ != nullptr ? 1 : 0); }
+  int queued() const { return static_cast<int>(tree_.Size()); }
+  bool Idle() const { return nr_running() == 0; }
+
+  Time min_vruntime() const { return min_vruntime_; }
+
+  // Sum of entity loads (weight x runnable-fraction / autogroup divisor);
+  // `divisor_of(autogroup_id)` supplies the autogroup division.
+  template <typename DivisorFn>
+  double LoadAt(Time now, DivisorFn&& divisor_of) const {
+    double total = 0;
+    if (curr_ != nullptr) {
+      total += EntityLoad(*curr_, now, divisor_of(curr_->autogroup));
+    }
+    tree_.ForEach([&](const SchedEntity* se) {
+      total += EntityLoad(*se, now, divisor_of(se->autogroup));
+      return true;
+    });
+    return total;
+  }
+
+  static double EntityLoad(const SchedEntity& se, Time now, double divisor) {
+    return static_cast<double>(se.weight) * se.load.ValueAt(now) / divisor;
+  }
+
+  // Visits queued entities in increasing vruntime order. Visitor returns
+  // false to stop.
+  template <typename Visitor>
+  void ForEachQueued(Visitor&& visit) const {
+    tree_.ForEach(visit);
+  }
+
+  // True if any *queued* entity may run on `cpu` (the sanity checker's
+  // can_steal, and the balancer's affinity screen).
+  bool HasStealableFor(CpuId cpu) const;
+
+  // CFS timeslice for `se` on this queue: sched_latency weighted by se's
+  // share of the queue's total weight, floored at min_granularity.
+  Time TimesliceFor(const SchedEntity& se) const;
+
+  // Preemption test at tick: true if curr exhausted its timeslice (and
+  // someone is waiting), or leads the leftmost by more than the slice.
+  bool CheckPreemptTick() const;
+
+  // Preemption test on wakeup of `woken` onto this queue.
+  bool CheckPreemptWakeup(const SchedEntity& woken, Time now) const;
+
+  // Total raw weight of all runnable entities (used for timeslices).
+  uint64_t total_weight() const { return total_weight_; }
+
+ private:
+  void UpdateMinVruntime();
+
+  CpuId cpu_;
+  const SchedTunables* tunables_;
+  RbTree<SchedEntity, &SchedEntity::rb, EntityByVruntime> tree_;
+  SchedEntity* curr_ = nullptr;
+  Time min_vruntime_ = 0;
+  uint64_t total_weight_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_CFS_RQ_H_

@@ -1,0 +1,87 @@
+// The scheduling entity: everything the scheduler knows about one thread.
+#ifndef SRC_CORE_ENTITY_H_
+#define SRC_CORE_ENTITY_H_
+
+#include <cstdint>
+
+#include "src/core/autogroup.h"
+#include "src/core/pelt.h"
+#include "src/core/rbtree.h"
+#include "src/core/weights.h"
+#include "src/simkit/cpuset.h"
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+using ThreadId = int;
+constexpr ThreadId kInvalidThread = -1;
+
+struct SchedEntity {
+  ThreadId tid = kInvalidThread;
+
+  // Weight / priority (§2.1): "a thread's weight is essentially its
+  // priority, or niceness in UNIX parlance".
+  int nice = 0;
+  uint32_t weight = kNice0Weight;
+  uint32_t inv_weight = 0;  // 2^32 / weight, for vruntime conversion.
+
+  // Weighted virtual runtime; the runqueue key.
+  Time vruntime = 0;
+
+  // Accounting.
+  Time exec_start = 0;        // Start of the current run segment.
+  Time sum_exec_runtime = 0;  // Total CPU time ever consumed.
+  Time slice_exec = 0;        // CPU time in the current timeslice.
+  Time last_dequeued = 0;     // When it last left a runqueue.
+  Time last_ran = 0;          // When it last stopped running (cache-hot test).
+
+  // Load tracking: runnable fraction, decayed (see pelt.h).
+  LoadTracker load;
+
+  AutogroupId autogroup = kRootAutogroup;
+
+  // taskset / numactl --cpunodebind mask.
+  CpuSet affinity;
+
+  // Runqueue this entity is on (when on_rq) or last ran on (when blocked).
+  CpuId cpu = kInvalidCpu;
+
+  bool on_rq = false;    // Runnable: queued in a tree or running as curr.
+  bool running = false;  // Currently the curr of some cpu.
+
+  RbNode rb;
+
+  void SetNice(int n) {
+    nice = n;
+    weight = NiceToWeight(n);
+    inv_weight = NiceToInverseWeight(n);
+  }
+
+  // delta_vruntime = delta_exec * kNice0Weight / weight, via the kernel's
+  // fixed-point inverse: delta * (1024 * inv_weight) >> 32.
+  Time DeltaExecToVruntime(Time delta_exec) const {
+    if (weight == kNice0Weight) {
+      return delta_exec;
+    }
+    // delta * 1024 * inv_weight / 2^32 == delta * inv_weight / 2^22.
+    // 128-bit intermediate: delta (~2^40 for seconds) * inv_weight (~2^28).
+    unsigned __int128 fact =
+        static_cast<unsigned __int128>(delta_exec) * static_cast<uint64_t>(inv_weight);
+    return static_cast<Time>(fact >> 22);
+  }
+};
+
+// Runqueue ordering: increasing vruntime, thread id breaking ties so that
+// the order (and hence the whole simulation) is deterministic.
+struct EntityByVruntime {
+  bool operator()(const SchedEntity& a, const SchedEntity& b) const {
+    if (a.vruntime != b.vruntime) {
+      return a.vruntime < b.vruntime;
+    }
+    return a.tid < b.tid;
+  }
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_ENTITY_H_

@@ -1,0 +1,21 @@
+#include "src/core/features.h"
+
+namespace wcores {
+
+SchedTunables SchedTunables::ForCpus(int n_cpus) {
+  int factor = 1;
+  while ((1 << factor) < n_cpus && factor < 8) {
+    ++factor;
+  }
+  // factor == min(1 + ceil(log2(n_cpus)), 8) for n_cpus > 1; 1 for n_cpus == 1.
+  if (n_cpus > 1) {
+    factor = factor + 1 > 8 ? 8 : factor + 1;
+  }
+  SchedTunables t;
+  t.sched_latency = Milliseconds(6) * factor;
+  t.min_granularity = Microseconds(750) * factor;
+  t.wakeup_granularity = Milliseconds(1) * factor;
+  return t;
+}
+
+}  // namespace wcores

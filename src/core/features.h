@@ -1,0 +1,98 @@
+// Scheduler feature flags and tunables.
+//
+// Each of the four bugs studied in the paper is the *default* behavior, as it
+// was in the stock kernels (3.17-4.3) the authors analyzed; each fix is an
+// opt-in flag. Benchmarks toggle exactly one flag to ablate one bug, or
+// combinations (Table 2 sweeps Group Imbalance x Overload-on-Wakeup).
+#ifndef SRC_CORE_FEATURES_H_
+#define SRC_CORE_FEATURES_H_
+
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+struct SchedFeatures {
+  // §3.1 Group Imbalance. Stock: the balancer compares scheduling groups by
+  // their *average* load, so one high-load thread conceals idle cores on its
+  // node. Fix: compare the *minimum* load of each group.
+  bool fix_group_imbalance = false;
+
+  // §3.2 Scheduling Group Construction. Stock: multi-node scheduling groups
+  // are constructed from Core 0's perspective and shared by every core, so
+  // nodes two hops apart appear together in all groups. Fix: each core builds
+  // groups from its own perspective.
+  bool fix_group_construction = false;
+
+  // §3.3 Overload-on-Wakeup. Stock: a woken thread is only placed on cores of
+  // the node it slept on (cache-reuse optimization), even when other nodes
+  // have idle cores. Fix: wake on the last-used core if idle, otherwise on
+  // the core that has been idle the longest, otherwise fall back.
+  bool fix_overload_wakeup = false;
+
+  // §3.4 Missing Scheduling Domains. Stock: when a core is disabled and
+  // re-enabled, domain regeneration omits the cross-NUMA step, so load is
+  // never balanced between nodes again. Fix: regenerate all levels.
+  bool fix_missing_domains = false;
+
+  // Autogroups (§2.2.1): a thread's load is divided by the number of threads
+  // in its autogroup. The paper disables autogroups in the Overload-on-Wakeup
+  // experiment to isolate that bug.
+  bool autogroup_enabled = true;
+
+  static SchedFeatures Stock() { return SchedFeatures{}; }
+
+  static SchedFeatures AllFixed() {
+    SchedFeatures f;
+    f.fix_group_imbalance = true;
+    f.fix_group_construction = true;
+    f.fix_overload_wakeup = true;
+    f.fix_missing_domains = true;
+    return f;
+  }
+};
+
+struct SchedTunables {
+  // Scheduler tick; the load balancer is driven off ticks ("one load
+  // balancing call every 4ms", Figure 5).
+  Time tick_period = Milliseconds(4);
+
+  // Balance interval of the bottom scheduling domain; doubles per level.
+  Time base_balance_interval = Milliseconds(4);
+
+  // A *busy* core balances its domains only every interval x this factor
+  // (kernel busy_factor = 32): its cycles are precious, and without this
+  // damping busy cores bounce queued threads between runqueues every few
+  // milliseconds, starving them. Idle cores (newidle/NOHZ) balance at the
+  // base interval.
+  int busy_balance_factor = 32;
+
+  // CFS targeted preemption latency: every runnable thread should run at
+  // least once per this interval. Scaled by 1+log2(ncpus) as in the kernel.
+  Time sched_latency = Milliseconds(24);
+
+  // Minimum timeslice a thread gets regardless of how crowded the rq is.
+  Time min_granularity = Milliseconds(3);
+
+  // A waking thread preempts the running one only if its vruntime is behind
+  // by more than this.
+  Time wakeup_granularity = Milliseconds(4);
+
+  // Cost charged to a core for each context switch.
+  Time context_switch_cost = Microseconds(2);
+
+  // Minimum spacing between NOHZ kicks issued by one overloaded core.
+  Time nohz_kick_interval = Milliseconds(4);
+
+  // A thread that ran within this window is considered cache-hot and is
+  // skipped by the balancer when colder candidates exist
+  // (sysctl_sched_migration_cost, default 500us in the kernel).
+  Time cache_hot_threshold = Microseconds(500);
+
+  // Kernel defaults scaled by min(1 + log2(ncpus), 8), as in
+  // kernel/sched/fair.c:sched_proportional_slice.
+  static SchedTunables ForCpus(int n_cpus);
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_FEATURES_H_

@@ -1,0 +1,16 @@
+#include "src/core/pelt.h"
+
+#include <cmath>
+
+namespace wcores {
+
+double LoadTracker::Decay(Time elapsed) {
+  // 2^(-elapsed / half-life). Beyond ~20 half-lives the contribution is
+  // below 1e-6; short-circuit to keep exp2 out of the common idle path.
+  if (elapsed > 20 * kHalfLife) {
+    return 0.0;
+  }
+  return std::exp2(-static_cast<double>(elapsed) / static_cast<double>(kHalfLife));
+}
+
+}  // namespace wcores

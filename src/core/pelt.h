@@ -1,0 +1,69 @@
+// Per-entity load tracking (§2.2.1, "The load tracking metric").
+//
+// CFS balances runqueues by *load*: the combination of a thread's weight and
+// its average CPU utilization. A thread that rarely needs the CPU has its
+// load decayed accordingly. The kernel implements this with PELT (per-entity
+// load tracking): a geometric series over 1 ms periods where a contribution
+// 32 ms in the past counts half. We implement the continuous-time equivalent,
+// an exponentially-decayed average with half-life 32 ms:
+//
+//   avg(t + d) = avg(t) * 2^(-d/32ms) + state * (1 - 2^(-d/32ms))
+//
+// where state is 1 while the entity is runnable (running or waiting in a
+// runqueue) and 0 while it sleeps. The value converges to the fraction of
+// time the entity spends runnable, which is what the balancer multiplies by
+// the weight (and divides by the autogroup size) to obtain the load.
+#ifndef SRC_CORE_PELT_H_
+#define SRC_CORE_PELT_H_
+
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+class LoadTracker {
+ public:
+  // PELT half-life: a contribution 32 ms in the past weighs one half.
+  static constexpr Time kHalfLife = Milliseconds(32);
+
+  // Threads start with a full contribution, like the kernel's
+  // init_entity_runnable_average: a new thread is assumed CPU-hungry until
+  // proven otherwise.
+  explicit LoadTracker(double initial = 1.0) : avg_(initial) {}
+
+  // Accounts the elapsed time since the last update under the previous
+  // state, then switches to `runnable`.
+  void SetState(Time now, bool runnable) {
+    Advance(now);
+    runnable_ = runnable;
+  }
+
+  // Accounts elapsed time under the current state.
+  void Advance(Time now) {
+    avg_ = ValueAt(now);
+    last_update_ = now;
+  }
+
+  // Projected average at `now` without mutating. Pure; used by the balancer
+  // and the sanity checker, which read many entities per pass.
+  double ValueAt(Time now) const {
+    if (now <= last_update_) {
+      return avg_;
+    }
+    double k = Decay(now - last_update_);
+    return avg_ * k + (runnable_ ? 1.0 : 0.0) * (1.0 - k);
+  }
+
+  bool runnable() const { return runnable_; }
+  Time last_update() const { return last_update_; }
+
+ private:
+  static double Decay(Time elapsed);
+
+  double avg_ = 0.0;
+  Time last_update_ = 0;
+  bool runnable_ = false;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_PELT_H_

@@ -1,0 +1,286 @@
+#include "src/core/rbtree.h"
+
+namespace wcores {
+
+namespace {
+
+bool IsRed(const RbNode* node) { return node != nullptr && node->red; }
+
+}  // namespace
+
+void RbTreeBase::RotateLeft(RbNode* x) {
+  RbNode* y = x->right;
+  x->right = y->left;
+  if (y->left != nullptr) {
+    y->left->parent = x;
+  }
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTreeBase::RotateRight(RbNode* x) {
+  RbNode* y = x->left;
+  x->left = y->right;
+  if (y->right != nullptr) {
+    y->right->parent = x;
+  }
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+void RbTreeBase::InsertAt(RbNode* node, RbNode* parent, RbNode** link) {
+  node->parent = parent;
+  node->left = nullptr;
+  node->right = nullptr;
+  node->red = true;
+  node->linked = true;
+  *link = node;
+  // Maintain the leftmost cache: the new node is leftmost iff it was linked
+  // as the left child of the previous leftmost (or the tree was empty).
+  if (leftmost_ == nullptr || (parent == leftmost_ && link == &parent->left)) {
+    leftmost_ = node;
+  }
+  ++size_;
+  InsertFixup(node);
+}
+
+void RbTreeBase::InsertFixup(RbNode* z) {
+  while (IsRed(z->parent)) {
+    RbNode* parent = z->parent;
+    RbNode* grand = parent->parent;  // Non-null: a red parent is never root.
+    if (parent == grand->left) {
+      RbNode* uncle = grand->right;
+      if (IsRed(uncle)) {
+        parent->red = false;
+        uncle->red = false;
+        grand->red = true;
+        z = grand;
+      } else {
+        if (z == parent->right) {
+          z = parent;
+          RotateLeft(z);
+          parent = z->parent;
+        }
+        parent->red = false;
+        grand->red = true;
+        RotateRight(grand);
+      }
+    } else {
+      RbNode* uncle = grand->left;
+      if (IsRed(uncle)) {
+        parent->red = false;
+        uncle->red = false;
+        grand->red = true;
+        z = grand;
+      } else {
+        if (z == parent->left) {
+          z = parent;
+          RotateRight(z);
+          parent = z->parent;
+        }
+        parent->red = false;
+        grand->red = true;
+        RotateLeft(grand);
+      }
+    }
+  }
+  root_->red = false;
+}
+
+void RbTreeBase::Transplant(RbNode* u, RbNode* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) {
+    v->parent = u->parent;
+  }
+}
+
+void RbTreeBase::Erase(RbNode* z) {
+  if (leftmost_ == z) {
+    leftmost_ = Next(z);
+  }
+
+  RbNode* y = z;
+  bool y_was_red = y->red;
+  RbNode* x = nullptr;
+  RbNode* x_parent = nullptr;
+
+  if (z->left == nullptr) {
+    x = z->right;
+    x_parent = z->parent;
+    Transplant(z, z->right);
+  } else if (z->right == nullptr) {
+    x = z->left;
+    x_parent = z->parent;
+    Transplant(z, z->left);
+  } else {
+    // y = in-order successor = leftmost of right subtree.
+    y = z->right;
+    while (y->left != nullptr) {
+      y = y->left;
+    }
+    y_was_red = y->red;
+    x = y->right;
+    if (y->parent == z) {
+      x_parent = y;
+    } else {
+      x_parent = y->parent;
+      Transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    Transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->red = z->red;
+  }
+
+  z->parent = nullptr;
+  z->left = nullptr;
+  z->right = nullptr;
+  z->linked = false;
+  --size_;
+
+  if (!y_was_red) {
+    EraseFixup(x, x_parent);
+  }
+}
+
+void RbTreeBase::EraseFixup(RbNode* x, RbNode* x_parent) {
+  while (x != root_ && !IsRed(x)) {
+    if (x == x_parent->left) {
+      RbNode* w = x_parent->right;  // Sibling; non-null while black heights differ.
+      if (IsRed(w)) {
+        w->red = false;
+        x_parent->red = true;
+        RotateLeft(x_parent);
+        w = x_parent->right;
+      }
+      if (!IsRed(w->left) && !IsRed(w->right)) {
+        w->red = true;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (!IsRed(w->right)) {
+          w->left->red = false;
+          w->red = true;
+          RotateRight(w);
+          w = x_parent->right;
+        }
+        w->red = x_parent->red;
+        x_parent->red = false;
+        w->right->red = false;
+        RotateLeft(x_parent);
+        x = root_;
+        x_parent = nullptr;
+      }
+    } else {
+      RbNode* w = x_parent->left;
+      if (IsRed(w)) {
+        w->red = false;
+        x_parent->red = true;
+        RotateRight(x_parent);
+        w = x_parent->left;
+      }
+      if (!IsRed(w->right) && !IsRed(w->left)) {
+        w->red = true;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (!IsRed(w->left)) {
+          w->right->red = false;
+          w->red = true;
+          RotateLeft(w);
+          w = x_parent->left;
+        }
+        w->red = x_parent->red;
+        x_parent->red = false;
+        w->left->red = false;
+        RotateRight(x_parent);
+        x = root_;
+        x_parent = nullptr;
+      }
+    }
+  }
+  if (x != nullptr) {
+    x->red = false;
+  }
+}
+
+RbNode* RbTreeBase::Next(RbNode* node) {
+  if (node->right != nullptr) {
+    node = node->right;
+    while (node->left != nullptr) {
+      node = node->left;
+    }
+    return node;
+  }
+  RbNode* parent = node->parent;
+  while (parent != nullptr && node == parent->right) {
+    node = parent;
+    parent = parent->parent;
+  }
+  return parent;
+}
+
+int RbTreeBase::ValidateSubtree(const RbNode* node, bool parent_red) {
+  if (node == nullptr) {
+    return 0;  // Nil leaves are black; black height 0 by convention.
+  }
+  if (parent_red && node->red) {
+    return -1;  // Red violation.
+  }
+  if (node->left != nullptr && node->left->parent != node) {
+    return -1;
+  }
+  if (node->right != nullptr && node->right->parent != node) {
+    return -1;
+  }
+  int lh = ValidateSubtree(node->left, node->red);
+  int rh = ValidateSubtree(node->right, node->red);
+  if (lh < 0 || rh < 0 || lh != rh) {
+    return -1;
+  }
+  return lh + (node->red ? 0 : 1);
+}
+
+int RbTreeBase::Validate() const {
+  if (root_ == nullptr) {
+    return leftmost_ == nullptr ? 0 : -1;
+  }
+  if (root_->red || root_->parent != nullptr) {
+    return -1;
+  }
+  // Leftmost cache must match the true minimum.
+  const RbNode* min = root_;
+  while (min->left != nullptr) {
+    min = min->left;
+  }
+  if (min != leftmost_) {
+    return -1;
+  }
+  return ValidateSubtree(root_, false);
+}
+
+}  // namespace wcores

@@ -1,0 +1,145 @@
+// Intrusive red-black tree, the data structure backing CFS runqueues (§2.1):
+// "Threads are organized in a runqueue, implemented as a red-black tree, in
+// which the threads are sorted in the increasing order of their vruntime."
+//
+// The tree caches its leftmost node so that picking the next thread to run
+// (the one with the smallest vruntime) is O(1), like the kernel's
+// rb_leftmost cache.
+//
+// Usage:
+//   struct Entity { uint64_t key; RbNode node; };
+//   struct ByKey {
+//     bool operator()(const Entity& a, const Entity& b) const { return a.key < b.key; }
+//   };
+//   RbTree<Entity, &Entity::node, ByKey> tree;
+//   tree.Insert(&e);
+//   Entity* min = tree.Leftmost();
+//   tree.Erase(&e);
+#ifndef SRC_CORE_RBTREE_H_
+#define SRC_CORE_RBTREE_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace wcores {
+
+struct RbNode {
+  RbNode* parent = nullptr;
+  RbNode* left = nullptr;
+  RbNode* right = nullptr;
+  bool red = false;
+  // Distinguishes "not in any tree" from "root with no children".
+  bool linked = false;
+};
+
+// Key-agnostic balancing machinery. The typed wrapper below performs the
+// comparisons during descent; the fixup logic only manipulates links/colors.
+class RbTreeBase {
+ public:
+  RbTreeBase() = default;
+  RbTreeBase(const RbTreeBase&) = delete;
+  RbTreeBase& operator=(const RbTreeBase&) = delete;
+
+  bool Empty() const { return root_ == nullptr; }
+  size_t Size() const { return size_; }
+  RbNode* LeftmostNode() const { return leftmost_; }
+
+  // Links `node` as a child of `parent` at `*link` and rebalances.
+  // `link` must be &parent->left or &parent->right (or &root_ when empty).
+  void InsertAt(RbNode* node, RbNode* parent, RbNode** link);
+
+  void Erase(RbNode* node);
+
+  // For descent in the typed wrapper.
+  RbNode* root() const { return root_; }
+  RbNode** mutable_root() { return &root_; }
+
+  // In-order successor, or nullptr.
+  static RbNode* Next(RbNode* node);
+
+  // Validates red-black invariants; returns black height, or -1 on violation.
+  // Test-support only; O(n).
+  int Validate() const;
+
+ private:
+  void RotateLeft(RbNode* x);
+  void RotateRight(RbNode* x);
+  void InsertFixup(RbNode* z);
+  void EraseFixup(RbNode* x, RbNode* x_parent);
+  void Transplant(RbNode* u, RbNode* v);
+  static int ValidateSubtree(const RbNode* node, bool parent_red);
+
+  RbNode* root_ = nullptr;
+  RbNode* leftmost_ = nullptr;
+  size_t size_ = 0;
+};
+
+template <typename T, RbNode T::*Member, typename Less>
+class RbTree {
+ public:
+  bool Empty() const { return base_.Empty(); }
+  size_t Size() const { return base_.Size(); }
+
+  static bool Linked(const T* item) { return (item->*Member).linked; }
+
+  void Insert(T* item) {
+    RbNode* node = &(item->*Member);
+    assert(!node->linked && "node already in a tree");
+    RbNode** link = base_.mutable_root();
+    RbNode* parent = nullptr;
+    while (*link != nullptr) {
+      parent = *link;
+      if (less_(*item, *FromNode(parent))) {
+        link = &parent->left;
+      } else {
+        link = &parent->right;
+      }
+    }
+    base_.InsertAt(node, parent, link);
+  }
+
+  void Erase(T* item) {
+    RbNode* node = &(item->*Member);
+    assert(node->linked && "node not in a tree");
+    base_.Erase(node);
+  }
+
+  // Smallest element or nullptr.
+  T* Leftmost() const {
+    RbNode* node = base_.LeftmostNode();
+    return node != nullptr ? FromNode(node) : nullptr;
+  }
+
+  // In-order traversal; `visit` returns false to stop early.
+  template <typename Visitor>
+  void ForEach(Visitor&& visit) const {
+    for (RbNode* n = base_.LeftmostNode(); n != nullptr; n = RbTreeBase::Next(n)) {
+      if (!visit(FromNode(n))) {
+        return;
+      }
+    }
+  }
+
+  int Validate() const { return base_.Validate(); }
+
+ private:
+  static T* FromNode(RbNode* node) {
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - MemberOffset());
+  }
+  static const T* FromNode(const RbNode* node) {
+    return reinterpret_cast<const T*>(reinterpret_cast<const char*>(node) - MemberOffset());
+  }
+  static size_t MemberOffset() {
+    alignas(T) static char dummy_storage[sizeof(T)];
+    const T* dummy = reinterpret_cast<const T*>(dummy_storage);
+    return reinterpret_cast<const char*>(&(dummy->*Member)) -
+           reinterpret_cast<const char*>(dummy);
+  }
+
+  RbTreeBase base_;
+  Less less_;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_RBTREE_H_

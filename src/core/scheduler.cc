@@ -1,0 +1,406 @@
+#include "src/core/scheduler.h"
+
+#include "src/simkit/check.h"
+
+#include <cassert>
+
+#include "src/simkit/log.h"
+
+namespace wcores {
+
+TraceSink* Scheduler::NullSink() {
+  static TraceSink sink;
+  return &sink;
+}
+
+Scheduler::Scheduler(const Topology& topo, const SchedFeatures& features,
+                     const SchedTunables& tunables, SchedClient* client, TraceSink* trace)
+    : topo_(&topo),
+      features_(features),
+      tunables_(tunables),
+      client_(client),
+      trace_(trace != nullptr ? trace : NullSink()) {
+  WC_CHECK(client_ != nullptr, "scheduler needs a client");
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    cpus_.emplace_back(c, &tunables_);
+    online_.Set(c);
+  }
+  autogroups_.push_back(Autogroup{kRootAutogroup, 0});
+
+  // Boot-time domain construction always includes the cross-NUMA levels; the
+  // Missing Scheduling Domains bug only manifests on *regeneration* (§3.4).
+  DomainBuildOptions opts;
+  opts.perspective = features_.fix_group_construction ? GroupPerspective::kPerCore
+                                                      : GroupPerspective::kCore0;
+  opts.cross_node_levels = true;
+  opts.base_balance_interval = tunables_.base_balance_interval;
+  auto trees = BuildDomains(*topo_, online_, opts);
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    cpus_[c].domains = std::move(trees[c]);
+    cpus_[c].tickless = true;
+  }
+}
+
+AutogroupId Scheduler::CreateAutogroup() {
+  AutogroupId id = static_cast<AutogroupId>(autogroups_.size());
+  autogroups_.push_back(Autogroup{id, 0});
+  return id;
+}
+
+double Scheduler::AutogroupDivisor(AutogroupId id) const {
+  if (!features_.autogroup_enabled) {
+    return 1.0;
+  }
+  return autogroups_[id].divisor();
+}
+
+double Scheduler::RqLoad(Time now, CpuId cpu) const {
+  return cpus_[cpu].rq.LoadAt(now, [this](AutogroupId id) { return AutogroupDivisor(id); });
+}
+
+ThreadId Scheduler::CurrentThread(CpuId cpu) const {
+  const SchedEntity* curr = cpus_[cpu].rq.curr();
+  return curr != nullptr ? curr->tid : kInvalidThread;
+}
+
+CpuId Scheduler::FirstAllowedOnline(const CpuSet& affinity) const {
+  CpuId c = (affinity & online_).First();
+  return c != kInvalidCpu ? c : online_.First();
+}
+
+void Scheduler::NotifyNrRunning(Time now, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  int nr = c.rq.nr_running();
+  if (nr != c.last_nr_reported) {
+    c.last_nr_reported = nr;
+    trace_->OnNrRunning(now, cpu, nr);
+  }
+}
+
+void Scheduler::NotifyLoad(Time now, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  double load = RqLoad(now, cpu);
+  if (load != c.last_load_reported) {
+    c.last_load_reported = load;
+    trace_->OnLoad(now, cpu, load);
+  }
+}
+
+void Scheduler::UpdateIdleState(Time now, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  if (c.rq.Idle()) {
+    if (!c.tickless) {
+      c.idle_since = now;
+      c.tickless = true;
+    }
+  } else {
+    c.tickless = false;
+  }
+}
+
+CpuId Scheduler::LongestIdleCpu(const CpuSet& allowed) const {
+  CpuId best = kInvalidCpu;
+  Time best_since = kTimeNever;
+  for (CpuId c : allowed & online_) {
+    if (!cpus_[c].rq.Idle()) {
+      continue;
+    }
+    if (cpus_[c].idle_since < best_since) {
+      best_since = cpus_[c].idle_since;
+      best = c;
+    }
+  }
+  return best;
+}
+
+bool Scheduler::CanSteal(CpuId idle_cpu, CpuId busy_cpu) const {
+  return cpus_[busy_cpu].rq.HasStealableFor(idle_cpu);
+}
+
+ThreadId Scheduler::CreateThread(Time now, const ThreadParams& params) {
+  ThreadId tid = static_cast<ThreadId>(entities_.size());
+  entities_.emplace_back();
+  SchedEntity& se = entities_.back();
+  se.tid = tid;
+  se.SetNice(params.nice);
+  se.autogroup = params.autogroup;
+  se.affinity = params.affinity.Empty() ? topo_->AllCpus() : params.affinity;
+  se.load = LoadTracker(1.0);
+  se.load.SetState(now, true);
+  autogroups_[se.autogroup].nr_threads += 1;
+  stats_.forks += 1;
+
+  // Fork placement: the parent's core when allowed (§3.2), otherwise the
+  // first allowed online cpu.
+  CpuId target = params.parent_cpu;
+  if (target == kInvalidCpu || !online_.Test(target) || !se.affinity.Test(target)) {
+    target = FirstAllowedOnline(se.affinity);
+  }
+
+  Cpu& c = cpus_[target];
+  bool was_idle = c.rq.Idle();
+  c.rq.Enqueue(&se, now, CfsRunqueue::EnqueueKind::kNew);
+  UpdateIdleState(now, target);
+  NotifyNrRunning(now, target);
+  NotifyLoad(now, target);
+  if (was_idle) {
+    client_->KickCpu(target);
+  } else if (c.rq.CheckPreemptWakeup(se, now)) {
+    c.need_resched = true;
+    client_->KickCpu(target);
+  }
+  return tid;
+}
+
+void Scheduler::ExitCurrent(Time now, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  SchedEntity* se = c.rq.curr();
+  WC_CHECK(se != nullptr, "no running thread to exit");
+  c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
+  se->load.SetState(now, false);
+  autogroups_[se->autogroup].nr_threads -= 1;
+  stats_.exits += 1;
+  UpdateIdleState(now, cpu);
+  NotifyNrRunning(now, cpu);
+  NotifyLoad(now, cpu);
+}
+
+void Scheduler::BlockCurrent(Time now, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  SchedEntity* se = c.rq.curr();
+  WC_CHECK(se != nullptr, "no running thread to block");
+  c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
+  se->load.SetState(now, false);
+  UpdateIdleState(now, cpu);
+  NotifyNrRunning(now, cpu);
+  NotifyLoad(now, cpu);
+}
+
+CpuId Scheduler::Wake(Time now, ThreadId tid, CpuId waker_cpu) {
+  SchedEntity& se = entities_[tid];
+  WC_CHECK(!se.on_rq, "waking a runnable thread");
+  se.load.Advance(now);
+  stats_.wakeups += 1;
+
+  CpuSet considered;
+  CpuId target = SelectTaskRq(now, se, waker_cpu, &considered);
+  trace_->OnConsidered(now, waker_cpu != kInvalidCpu ? waker_cpu : target, considered,
+                       ConsideredKind::kWakeup);
+
+  if (target == se.cpu) {
+    stats_.wakeups_on_prev += 1;
+  }
+  if (cpus_[target].rq.Idle()) {
+    stats_.wakeups_on_idle += 1;
+  } else {
+    stats_.wakeups_on_busy += 1;
+  }
+
+  // Cross-cpu wake: re-base vruntime between the queues, as the kernel does
+  // in migrate_task_rq_fair + enqueue.
+  if (target != se.cpu && se.cpu != kInvalidCpu) {
+    Time src_min = cpus_[se.cpu].rq.min_vruntime();
+    Time dst_min = cpus_[target].rq.min_vruntime();
+    Time rel = se.vruntime > src_min ? se.vruntime - src_min : 0;
+    se.vruntime = dst_min + rel;
+  }
+  EnqueueWake(now, &se, target);
+  return target;
+}
+
+void Scheduler::EnqueueWake(Time now, SchedEntity* se, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  bool was_idle = c.rq.Idle();
+  c.rq.Enqueue(se, now, CfsRunqueue::EnqueueKind::kWakeup);
+  se->load.SetState(now, true);
+  UpdateIdleState(now, cpu);
+  NotifyNrRunning(now, cpu);
+  NotifyLoad(now, cpu);
+  if (was_idle) {
+    client_->KickCpu(cpu);
+  } else if (c.rq.CheckPreemptWakeup(*se, now)) {
+    c.need_resched = true;
+    client_->KickCpu(cpu);
+  }
+}
+
+ThreadId Scheduler::PickNext(Time now, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  c.need_resched = false;
+  if (!c.online) {
+    return kInvalidThread;
+  }
+  if (c.rq.curr() != nullptr) {
+    c.rq.curr()->load.Advance(now);
+    c.rq.PutCurr(now, CfsRunqueue::PutKind::kStillRunnable);
+  }
+  SchedEntity* next = c.rq.PickNext(now);
+  if (next == nullptr) {
+    // "Emergency" balancing when a core becomes idle (§2.2).
+    IdleBalance(now, cpu);
+    next = c.rq.PickNext(now);
+  }
+  UpdateIdleState(now, cpu);
+  return next != nullptr ? next->tid : kInvalidThread;
+}
+
+void Scheduler::Tick(Time now, CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  if (!c.online) {
+    return;
+  }
+  stats_.ticks += 1;
+  c.rq.UpdateCurr(now);
+  if (c.rq.curr() != nullptr) {
+    c.rq.curr()->load.Advance(now);
+  }
+  if (c.rq.CheckPreemptTick()) {
+    c.need_resched = true;
+  }
+
+  // Periodic load balancing: Algorithm 1, bottom-up over this core's
+  // scheduling domains. This core is busy (it is taking a tick), so its
+  // intervals are stretched by busy_balance_factor, as in the kernel.
+  for (SchedDomain& sd : c.domains.domains) {
+    Time interval = sd.balance_interval * static_cast<Time>(tunables_.busy_balance_factor);
+    if (now < sd.last_balance + interval) {
+      stats_.balance_interval_skips += 1;
+      continue;
+    }
+    if (DesignatedCpu(cpu, sd) != cpu) {
+      stats_.balance_designation_skips += 1;
+      continue;
+    }
+    sd.last_balance = now;
+    BalanceDomain(now, cpu, sd, ConsideredKind::kPeriodicBalance);
+  }
+
+  // NOHZ: an overloaded core wakes the first tickless idle core and assigns
+  // it the NOHZ balancer role (§2.2.2).
+  if (c.rq.nr_running() >= 2 && now >= c.last_nohz_kick + tunables_.nohz_kick_interval) {
+    for (CpuId t : online_) {
+      if (cpus_[t].tickless && cpus_[t].rq.Idle()) {
+        c.last_nohz_kick = now;
+        stats_.nohz_kicks += 1;
+        client_->NohzKick(t);
+        break;
+      }
+    }
+  }
+}
+
+void Scheduler::RunNohzBalance(Time now, CpuId cpu) {
+  // The kicked core runs the periodic balancing routine for itself and on
+  // behalf of all tickless idle cores (§2.2.2).
+  for (CpuId x : online_) {
+    if (x != cpu && !(cpus_[x].tickless && cpus_[x].rq.Idle())) {
+      continue;
+    }
+    for (SchedDomain& sd : cpus_[x].domains.domains) {
+      if (now < sd.last_balance + sd.balance_interval) {
+        stats_.balance_interval_skips += 1;
+        continue;
+      }
+      if (DesignatedCpu(x, sd) != x) {
+        stats_.balance_designation_skips += 1;
+        continue;
+      }
+      sd.last_balance = now;
+      BalanceDomain(now, x, sd, ConsideredKind::kNohzBalance);
+    }
+  }
+}
+
+void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
+  Cpu& c = cpus_[cpu];
+  if (c.online == online) {
+    return;
+  }
+  if (!online) {
+    c.online = false;
+    online_.Clear(cpu);
+
+    // Evacuate the runqueue: the running thread first, then queued ones.
+    std::vector<SchedEntity*> evacuees;
+    if (c.rq.curr() != nullptr) {
+      SchedEntity* curr = c.rq.curr();
+      c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
+      evacuees.push_back(curr);
+    }
+    c.rq.ForEachQueued([&](const SchedEntity* se) {
+      evacuees.push_back(const_cast<SchedEntity*>(se));
+      return true;
+    });
+    for (SchedEntity* se : evacuees) {
+      if (se->on_rq) {
+        c.rq.DequeueQueued(se, now);
+      }
+      CpuId target = FirstAllowedOnline(se->affinity);
+      Time src_min = c.rq.min_vruntime();
+      Time dst_min = cpus_[target].rq.min_vruntime();
+      Time rel = se->vruntime > src_min ? se->vruntime - src_min : 0;
+      se->vruntime = dst_min + rel;
+      bool was_idle = cpus_[target].rq.Idle();
+      cpus_[target].rq.Enqueue(se, now, CfsRunqueue::EnqueueKind::kMigrate);
+      se->cpu = target;
+      stats_.migrations_hotplug += 1;
+      trace_->OnMigration(now, se->tid, cpu, target, MigrationReason::kHotplug);
+      UpdateIdleState(now, target);
+      NotifyNrRunning(now, target);
+      NotifyLoad(now, target);
+      if (was_idle) {
+        client_->KickCpu(target);
+      }
+    }
+    UpdateIdleState(now, cpu);
+    NotifyNrRunning(now, cpu);
+    NotifyLoad(now, cpu);
+    client_->KickCpu(cpu);
+  } else {
+    c.online = true;
+    online_.Set(cpu);
+    c.idle_since = now;
+    c.tickless = true;
+    c.need_resched = false;
+  }
+  RebuildDomains();
+}
+
+CpuId Scheduler::DesignatedCpu(CpuId cpu, const SchedDomain& sd) const {
+  // Within multi-node (possibly overlapping) groups, balancing on the
+  // group's behalf is the responsibility of each node's own cores — "the
+  // core responsible for load balancing on each node" (§3.2) — so the
+  // balance mask is the local group restricted to this cpu's node. For
+  // SMT/NODE domains the local group is the balance mask itself.
+  const SchedGroup& local = sd.groups[sd.local_group];
+  CpuSet mask = local.cpus & online_;
+  if (local.seed_node != kInvalidNode) {
+    CpuSet node_cpus = topo_->CpusOfNode(topo_->NodeOf(cpu)) & mask;
+    if (!node_cpus.Empty()) {
+      mask = node_cpus;
+    }
+  }
+  for (CpuId c : mask) {
+    if (cpus_[c].rq.Idle()) {
+      return c;
+    }
+  }
+  return mask.First();
+}
+
+void Scheduler::RebuildDomains() {
+  // §3.4: regeneration is a two-step process — domains inside NUMA nodes,
+  // then across them. Stock kernels dropped the second step during a
+  // refactoring; fix_missing_domains restores it.
+  DomainBuildOptions opts;
+  opts.perspective = features_.fix_group_construction ? GroupPerspective::kPerCore
+                                                      : GroupPerspective::kCore0;
+  opts.cross_node_levels = features_.fix_missing_domains;
+  opts.base_balance_interval = tunables_.base_balance_interval;
+  auto trees = BuildDomains(*topo_, online_, opts);
+  for (CpuId c = 0; c < topo_->n_cores(); ++c) {
+    cpus_[c].domains = std::move(trees[c]);
+  }
+}
+
+}  // namespace wcores

@@ -1,0 +1,223 @@
+// The multicore CFS scheduler: per-core runqueues, wakeup placement,
+// hierarchical load balancing (§2.2), and the four bugs of §3 with their
+// fixes behind SchedFeatures flags.
+//
+// The scheduler is a passive library: it never blocks and holds no clock.
+// A driver (src/sim/simulator.h, or a unit test) calls into it at discrete
+// instants, passing `now` explicitly, and receives asynchronous requests
+// through SchedClient (kick an idle cpu that just received work, wake a
+// tickless core to run NOHZ balancing).
+//
+// Division of labor with the driver:
+//   - The driver decides *what* threads do (compute, sleep, lock, ...) and
+//     for how long; it calls Tick() every tick_period on busy cores and
+//     PickNext() at context-switch points.
+//   - The scheduler decides *where and when* threads run: runqueue policy,
+//     wakeup placement, balancing, hotplug migration.
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/core/autogroup.h"
+#include "src/core/cfs_rq.h"
+#include "src/core/entity.h"
+#include "src/core/features.h"
+#include "src/core/stats.h"
+#include "src/core/trace.h"
+#include "src/core/wake_policy.h"
+#include "src/simkit/cpuset.h"
+#include "src/simkit/time.h"
+#include "src/topo/domains.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+
+// Implemented by the driver (simulator).
+class SchedClient {
+ public:
+  virtual ~SchedClient() = default;
+
+  // `cpu` must reschedule as soon as possible: either it was idle and now
+  // has work, or its running thread should be preempted.
+  virtual void KickCpu(CpuId cpu) = 0;
+
+  // A tickless idle `cpu` has been designated NOHZ balancer; the driver
+  // should invoke Scheduler::RunNohzBalance(cpu) at the current instant.
+  virtual void NohzKick(CpuId cpu) = 0;
+};
+
+struct ThreadParams {
+  int nice = 0;
+  AutogroupId autogroup = kRootAutogroup;
+  // Allowed cpus; empty means "all cpus".
+  CpuSet affinity;
+  // Fork placement: "Linux spawns threads on the same core as their parent
+  // thread" (§3.2). kInvalidCpu places on the first allowed online cpu.
+  CpuId parent_cpu = kInvalidCpu;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const Topology& topo, const SchedFeatures& features, const SchedTunables& tunables,
+            SchedClient* client, TraceSink* trace = nullptr);
+
+  const Topology& topology() const { return *topo_; }
+  const SchedFeatures& features() const { return features_; }
+  const SchedTunables& tunables() const { return tunables_; }
+
+  // ---- Autogroups --------------------------------------------------------
+
+  // One autogroup per tty / container process (§2.2.1).
+  AutogroupId CreateAutogroup();
+
+  // ---- Thread lifecycle ---------------------------------------------------
+
+  // Creates a runnable thread and enqueues it (balance-on-fork is not
+  // modeled; see DESIGN.md). Returns its ThreadId.
+  ThreadId CreateThread(Time now, const ThreadParams& params);
+
+  // The running thread on `cpu` exits. Driver must call PickNext() next.
+  void ExitCurrent(Time now, CpuId cpu);
+
+  // The running thread on `cpu` blocks (sleep, lock, I/O). Driver must call
+  // PickNext() next.
+  void BlockCurrent(Time now, CpuId cpu);
+
+  // Wakes a blocked thread; runs the wakeup placement path (§3.3) and
+  // enqueues it. `waker_cpu` is the core performing the wakeup (timer
+  // expiry is delivered on the sleeper's former core). Returns the chosen
+  // cpu. Kicks the target cpu via SchedClient if it was idle or preempted.
+  CpuId Wake(Time now, ThreadId tid, CpuId waker_cpu);
+
+  // ---- Per-cpu driver hooks -----------------------------------------------
+
+  // Context switch: requeues the previously running thread if needed, picks
+  // the leftmost entity, runs (new-)idle balancing when the queue is empty.
+  // Returns the thread to run, or kInvalidThread if the cpu goes idle.
+  ThreadId PickNext(Time now, CpuId cpu);
+
+  // Periodic scheduler tick on a busy cpu: runtime accounting, preemption
+  // check, periodic load balancing (Algorithm 1), NOHZ kick check.
+  void Tick(Time now, CpuId cpu);
+
+  // True if the driver should context-switch `cpu`.
+  bool NeedResched(CpuId cpu) const { return cpus_[cpu].need_resched; }
+
+  // Runs NOHZ balancing on a kicked tickless core: periodic balancing for
+  // itself and on behalf of all tickless idle cores (§2.2.2).
+  void RunNohzBalance(Time now, CpuId cpu);
+
+  // ---- Hotplug (/proc-like interface, §3.4) --------------------------------
+
+  // Disabling migrates all threads off `cpu` and regenerates scheduling
+  // domains; with the Missing Scheduling Domains bug (stock), regeneration
+  // drops all cross-NUMA levels. Re-enabling regenerates domains the same
+  // (possibly buggy) way.
+  void SetCpuOnline(Time now, CpuId cpu, bool online);
+  bool IsOnline(CpuId cpu) const { return cpus_[cpu].online; }
+  CpuSet OnlineCpus() const { return online_; }
+
+  // ---- Introspection (tools, tests, benches) -------------------------------
+
+  int NrRunning(CpuId cpu) const { return cpus_[cpu].rq.nr_running(); }
+  bool IsIdleCpu(CpuId cpu) const { return cpus_[cpu].rq.Idle(); }
+  Time IdleSince(CpuId cpu) const { return cpus_[cpu].idle_since; }
+  bool IsTickless(CpuId cpu) const { return cpus_[cpu].tickless; }
+  ThreadId CurrentThread(CpuId cpu) const;
+  double RqLoad(Time now, CpuId cpu) const;
+  const DomainTree& Domains(CpuId cpu) const { return cpus_[cpu].domains; }
+  const SchedEntity& Entity(ThreadId tid) const { return entities_[tid]; }
+  SchedEntity& MutableEntity(ThreadId tid) { return entities_[tid]; }
+  int ThreadCount() const { return static_cast<int>(entities_.size()); }
+  const SchedStats& stats() const { return stats_; }
+  SchedStats& mutable_stats() { return stats_; }
+
+  // The sanity checker's can_steal(idle, busy): some thread queued on
+  // `busy_cpu` is allowed to run on `idle_cpu`.
+  bool CanSteal(CpuId idle_cpu, CpuId busy_cpu) const;
+
+  // The longest-idle online cpu within `allowed`, or kInvalidCpu.
+  CpuId LongestIdleCpu(const CpuSet& allowed) const;
+
+  // Re-resolves the autogroup divisor for load computations.
+  double AutogroupDivisor(AutogroupId id) const;
+
+  // ---- Modular scheduling (§5's vision; see src/modsched/) ------------------
+
+  // Attaches an optimization module for wakeup placement. Suggestions are
+  // honored only when they keep the work-conserving invariant: a busy
+  // suggestion while an allowed core sits idle is overridden to the
+  // longest-idle core (counted in stats().wake_policy_vetoes).
+  void set_wake_policy(WakePolicy* policy) { wake_policy_ = policy; }
+  WakePolicy* wake_policy() const { return wake_policy_; }
+
+ private:
+  struct Cpu {
+    explicit Cpu(CpuId id, const SchedTunables* tunables) : rq(id, tunables) {}
+
+    CfsRunqueue rq;
+    bool online = true;
+    bool need_resched = false;
+    bool tickless = false;    // Idle and not receiving ticks.
+    Time idle_since = 0;      // Valid while rq.Idle().
+    bool imbalanced = false;  // A steal from this rq failed on affinity.
+    Time last_nohz_kick = 0;
+    DomainTree domains;
+
+    // Last values reported to the trace sink (report-on-change).
+    int last_nr_reported = -1;
+    double last_load_reported = -1.0;
+  };
+
+  // Wakeup placement; fills `considered` for the visualization tool.
+  CpuId SelectTaskRq(Time now, const SchedEntity& se, CpuId waker_cpu, CpuSet* considered);
+
+  // Stock path: wake_affine between prev/waker node + select_idle_sibling
+  // within that node only (the Overload-on-Wakeup bug, §3.3).
+  CpuId SelectTaskRqStock(Time now, const SchedEntity& se, CpuId waker_cpu, CpuSet* considered);
+
+  // One Algorithm-1 body for (cpu, domain). Returns #threads moved.
+  int BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKind kind);
+
+  // Lines 2-9 of Algorithm 1: the core designated to balance `sd` on behalf
+  // of its local group — the first idle cpu of the group's balance mask
+  // (the seed node's cores for multi-node groups), else its first cpu.
+  CpuId DesignatedCpu(CpuId cpu, const SchedDomain& sd) const;
+
+  // Pulls from src_cpu into dst_cpu up to `max_load`; moves at least one
+  // allowed thread if `force_min_one`. Returns #threads moved.
+  int MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load, bool force_min_one,
+                MigrationReason reason);
+
+  // (New-)idle balancing when a cpu runs out of work.
+  void IdleBalance(Time now, CpuId cpu);
+
+  void EnqueueWake(Time now, SchedEntity* se, CpuId cpu);
+  void UpdateIdleState(Time now, CpuId cpu);
+  void RebuildDomains();
+  CpuId FirstAllowedOnline(const CpuSet& affinity) const;
+  void NotifyNrRunning(Time now, CpuId cpu);
+  void NotifyLoad(Time now, CpuId cpu);
+
+  const Topology* topo_;
+  SchedFeatures features_;
+  SchedTunables tunables_;
+  SchedClient* client_;
+  TraceSink* trace_;  // Never null; defaults to a no-op sink.
+  WakePolicy* wake_policy_ = nullptr;
+
+  std::deque<Cpu> cpus_;  // deque: Cpu is neither copyable nor movable.
+  CpuSet online_;
+  std::deque<SchedEntity> entities_;  // Indexed by tid; stable addresses.
+  std::vector<Autogroup> autogroups_;
+  SchedStats stats_;
+
+  static TraceSink* NullSink();
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,274 @@
+// Hierarchical load balancing: Algorithm 1 of the paper, plus (new-)idle
+// balancing. The Group Imbalance bug/fix of §3.1 lives in the group metric.
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "src/core/scheduler.h"
+
+namespace wcores {
+
+namespace {
+
+struct GroupStats {
+  double sum_load = 0;
+  double min_load = std::numeric_limits<double>::infinity();
+  int n_cpus = 0;
+  int nr_running = 0;
+  bool imbalanced = false;
+
+  double AvgLoad() const { return n_cpus > 0 ? sum_load / n_cpus : 0.0; }
+  double MinLoad() const { return n_cpus > 0 ? min_load : 0.0; }
+  bool Overloaded() const { return nr_running > n_cpus; }
+
+  // Busiest-selection rank (line 13): overloaded groups first, then groups
+  // marked imbalanced by failed affinity moves, then the rest.
+  int Rank() const {
+    if (Overloaded()) {
+      return 2;
+    }
+    if (imbalanced) {
+      return 1;
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKind kind) {
+  stats_.balance_calls += 1;
+
+  // The metric that compares groups. Stock kernels compare *average* loads,
+  // which lets one high-load thread conceal idle cores on its node — the
+  // Group Imbalance bug. The fix compares the *minimum* loads: if some core
+  // in another group is busier than every core in ours is idle-ish, steal.
+  auto metric = [&](const GroupStats& gs) {
+    return features_.fix_group_imbalance ? gs.MinLoad() : gs.AvgLoad();
+  };
+
+  MigrationReason reason = kind == ConsideredKind::kPeriodicBalance
+                               ? MigrationReason::kPeriodicBalance
+                               : (kind == ConsideredKind::kIdleBalance
+                                      ? MigrationReason::kIdleBalance
+                                      : MigrationReason::kNohzBalance);
+
+  // Cpus proven useless as sources this pass (tasksets, Algorithm 1 lines
+  // 20-22). When a whole busiest group is excluded, group selection redoes
+  // without it — the kernel's LBF_ALL_PINNED "redo" path.
+  CpuSet excluded;
+  bool first_pass = true;
+
+  for (;;) {
+    int excluded_at_pass_start = excluded.Count();
+
+    // Lines 10-12: average (and minimum) load of every scheduling group.
+    std::vector<GroupStats> stats(sd.groups.size());
+    CpuSet considered;
+    for (size_t g = 0; g < sd.groups.size(); ++g) {
+      for (CpuId c : sd.groups[g].cpus) {
+        if (!cpus_[c].online || excluded.Test(c)) {
+          continue;
+        }
+        considered.Set(c);
+        double load = RqLoad(now, c);
+        GroupStats& gs = stats[g];
+        gs.sum_load += load;
+        gs.min_load = std::min(gs.min_load, load);
+        gs.n_cpus += 1;
+        gs.nr_running += cpus_[c].rq.nr_running();
+        gs.imbalanced = gs.imbalanced || cpus_[c].imbalanced;
+      }
+    }
+    if (first_pass) {
+      trace_->OnConsidered(now, cpu, considered, kind);
+      first_pass = false;
+    }
+
+    // Line 13: the busiest group, preferring overloaded then imbalanced ones.
+    int local = sd.local_group;
+    int busiest = -1;
+    for (int g = 0; g < static_cast<int>(stats.size()); ++g) {
+      if (g == local || stats[g].n_cpus == 0) {
+        continue;
+      }
+      if (busiest < 0 || stats[g].Rank() > stats[busiest].Rank() ||
+          (stats[g].Rank() == stats[busiest].Rank() &&
+           metric(stats[g]) > metric(stats[busiest]))) {
+        busiest = g;
+      }
+    }
+    if (busiest < 0) {
+      return 0;
+    }
+
+    // Lines 15-16: if the busiest group does not beat ours, the load is
+    // considered balanced at this level.
+    if (metric(stats[busiest]) <= metric(stats[local])) {
+      stats_.balance_below_local += 1;
+      return 0;
+    }
+    stats_.balance_found_busiest += 1;
+
+    // Lines 18-23: steal from the busiest cpu of the busiest group; retry
+    // with the next busiest when tasksets prevent any move.
+    double this_load = RqLoad(now, cpu);
+    bool group_exhausted = false;
+    for (;;) {
+      CpuId src = kInvalidCpu;
+      double src_load = 0;
+      for (CpuId c : sd.groups[busiest].cpus) {
+        if (c == cpu || excluded.Test(c) || !cpus_[c].online) {
+          continue;
+        }
+        if (cpus_[c].rq.queued() < 1) {
+          continue;  // Nothing stealable (curr cannot be migrated).
+        }
+        double load = RqLoad(now, c);
+        if (src == kInvalidCpu || load > src_load) {
+          src = c;
+          src_load = load;
+        }
+      }
+      if (src == kInvalidCpu) {
+        group_exhausted = true;
+        break;
+      }
+
+      double imbalance = (src_load - this_load) / 2.0;
+      bool force_min_one = cpus_[cpu].rq.Idle() && cpus_[src].rq.nr_running() >= 2;
+      if (imbalance <= 0 && !force_min_one) {
+        stats_.balance_failures += 1;
+        return 0;
+      }
+
+      int moved = MoveTasks(now, src, cpu, imbalance, force_min_one, reason);
+      if (moved > 0) {
+        cpus_[src].imbalanced = false;
+        return moved;
+      }
+      // Lines 20-22: the busiest cpu's threads are pinned elsewhere; mark
+      // the source imbalanced (so its group is favoured by cores that *can*
+      // help) and retry with the next busiest cpu.
+      if (cpus_[src].rq.queued() >= 1 && !cpus_[src].rq.HasStealableFor(cpu)) {
+        cpus_[src].imbalanced = true;
+      }
+      stats_.balance_affinity_retries += 1;
+      excluded.Set(src);
+    }
+    if (group_exhausted) {
+      // Exclude what remains of this group and redo group selection. Each
+      // redo shrinks the candidate set, so this terminates; a group with
+      // every cpu excluded has n_cpus == 0 and is never selected again.
+      for (CpuId c : sd.groups[busiest].cpus) {
+        if (c != cpu && cpus_[c].online) {
+          excluded.Set(c);
+        }
+      }
+      if (excluded.Count() == excluded_at_pass_start) {
+        // Sterile pass: nothing new to exclude, nothing movable.
+        stats_.balance_failures += 1;
+        return 0;
+      }
+    }
+  }
+}
+
+int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load,
+                         bool force_min_one, MigrationReason reason) {
+  Cpu& src = cpus_[src_cpu];
+  Cpu& dst = cpus_[dst_cpu];
+
+  // Candidates in increasing vruntime order; steal from the back (the
+  // longest-waiting / least cache-hot end), as load_balance does. Threads
+  // that ran within cache_hot_threshold (sched_migration_cost) are demoted
+  // to a second-chance list, taken only when no cold candidate suffices.
+  std::vector<SchedEntity*> candidates;
+  std::vector<SchedEntity*> hot;
+  src.rq.ForEachQueued([&](const SchedEntity* se) {
+    if (!se->affinity.Test(dst_cpu)) {
+      return true;
+    }
+    bool cache_hot = se->last_ran != 0 && now > se->last_ran &&
+                     now - se->last_ran < tunables_.cache_hot_threshold;
+    if (cache_hot) {
+      hot.push_back(const_cast<SchedEntity*>(se));
+    } else {
+      candidates.push_back(const_cast<SchedEntity*>(se));
+    }
+    return true;
+  });
+  // Cold candidates first (back of the vruntime order = coldest).
+  candidates.insert(candidates.begin(), hot.begin(), hot.end());
+
+  int moved = 0;
+  double moved_load = 0;
+  bool dst_was_idle = dst.rq.Idle();
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    SchedEntity* se = *it;
+    if (moved_load >= max_load && !(force_min_one && moved == 0)) {
+      break;
+    }
+    // An idle destination takes one task and starts running it (newidle
+    // semantics); pulling a batch would just re-imbalance the source.
+    if (dst_was_idle && moved >= 1) {
+      break;
+    }
+    // Never empty the source completely: it must keep one runnable thread.
+    if (src.rq.nr_running() <= 1) {
+      break;
+    }
+    double load = CfsRunqueue::EntityLoad(*se, now, AutogroupDivisor(se->autogroup));
+    src.rq.DequeueQueued(se, now);
+    Time rel = se->vruntime > src.rq.min_vruntime() ? se->vruntime - src.rq.min_vruntime() : 0;
+    se->vruntime = dst.rq.min_vruntime() + rel;
+    dst.rq.Enqueue(se, now, CfsRunqueue::EnqueueKind::kMigrate);
+    se->cpu = dst_cpu;
+    moved += 1;
+    moved_load += load;
+    trace_->OnMigration(now, se->tid, src_cpu, dst_cpu, reason);
+    switch (reason) {
+      case MigrationReason::kPeriodicBalance:
+        stats_.migrations_periodic += 1;
+        break;
+      case MigrationReason::kIdleBalance:
+        stats_.migrations_idle += 1;
+        break;
+      case MigrationReason::kNohzBalance:
+        stats_.migrations_nohz += 1;
+        break;
+      case MigrationReason::kHotplug:
+        stats_.migrations_hotplug += 1;
+        break;
+    }
+  }
+
+  if (moved > 0) {
+    UpdateIdleState(now, src_cpu);
+    UpdateIdleState(now, dst_cpu);
+    NotifyNrRunning(now, src_cpu);
+    NotifyLoad(now, src_cpu);
+    NotifyNrRunning(now, dst_cpu);
+    NotifyLoad(now, dst_cpu);
+    // NOHZ balancing pulls work onto *other* (tickless) cores; they must be
+    // kicked to notice it. Periodic/idle balancing pulls onto the caller.
+    if (dst_was_idle && reason == MigrationReason::kNohzBalance) {
+      client_->KickCpu(dst_cpu);
+    }
+  }
+  return moved;
+}
+
+void Scheduler::IdleBalance(Time now, CpuId cpu) {
+  // New-idle balancing skips the designated-core and interval checks: the
+  // core is about to idle, so its cycles are free (§2.2, "emergency" load
+  // balancing).
+  for (SchedDomain& sd : cpus_[cpu].domains.domains) {
+    if (BalanceDomain(now, cpu, sd, ConsideredKind::kIdleBalance) > 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace wcores

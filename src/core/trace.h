@@ -1,0 +1,73 @@
+// Instrumentation points the paper's visualization tool hooks (§4.2).
+//
+// The kernel version instruments add_nr_running/sub_nr_running (runqueue
+// size), account_entity_enqueue/dequeue (runqueue load), and the balancing /
+// wakeup functions (set of considered cores). The scheduler calls this
+// interface at the same points; src/tools/recorder.h provides the concrete
+// in-memory recorder, and a null sink keeps the scheduler overhead-free when
+// profiling is off.
+#ifndef SRC_CORE_TRACE_H_
+#define SRC_CORE_TRACE_H_
+
+#include "src/core/entity.h"
+#include "src/simkit/cpuset.h"
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+enum class ConsideredKind {
+  kPeriodicBalance,
+  kIdleBalance,
+  kNohzBalance,
+  kWakeup,
+};
+
+enum class MigrationReason {
+  kPeriodicBalance,
+  kIdleBalance,
+  kNohzBalance,
+  kHotplug,
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Runqueue size changed (maps to add_nr_running / sub_nr_running).
+  virtual void OnNrRunning(Time now, CpuId cpu, int nr_running) {
+    (void)now;
+    (void)cpu;
+    (void)nr_running;
+  }
+
+  // Runqueue load changed (maps to account_entity_enqueue / _dequeue).
+  virtual void OnLoad(Time now, CpuId cpu, double load) {
+    (void)now;
+    (void)cpu;
+    (void)load;
+  }
+
+  // Cores examined by one balancing pass or one wakeup placement (maps to
+  // update_sg_lb_stats / find_busiest_queue / select_idle_sibling /
+  // find_idlest_group instrumentation).
+  virtual void OnConsidered(Time now, CpuId initiator, const CpuSet& considered,
+                            ConsideredKind kind) {
+    (void)now;
+    (void)initiator;
+    (void)considered;
+    (void)kind;
+  }
+
+  virtual void OnMigration(Time now, ThreadId tid, CpuId from, CpuId to,
+                           MigrationReason reason) {
+    (void)now;
+    (void)tid;
+    (void)from;
+    (void)to;
+    (void)reason;
+  }
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_TRACE_H_

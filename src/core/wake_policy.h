@@ -1,0 +1,50 @@
+// Pluggable wakeup-placement policies: the hook for §5's modular-scheduler
+// vision.
+//
+// "We envision a scheduler that is a collection of modules: the core module
+// and optimization modules. ... A cache affinity module might suggest waking
+// up a thread on a core where it recently ran. The core module should be
+// able to take suggestions from optimization modules and to act on them
+// whenever feasible, while always maintaining the basic invariants, such as
+// not letting cores sit idle while there are runnable threads."
+//
+// A WakePolicy is an optimization module for the wakeup path. When one is
+// attached (Scheduler::set_wake_policy), its suggestion replaces the stock
+// select_task_rq heuristics — but the scheduler core retains the last word:
+// a suggestion that would place the thread on a busy core while an allowed
+// core sits idle violates the work-conserving invariant and is overridden
+// (see src/modsched/ for module implementations and the arbitration story).
+#ifndef SRC_CORE_WAKE_POLICY_H_
+#define SRC_CORE_WAKE_POLICY_H_
+
+#include "src/core/entity.h"
+#include "src/simkit/cpuset.h"
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+class Scheduler;
+
+struct WakeContext {
+  const Scheduler* sched = nullptr;
+  const SchedEntity* entity = nullptr;
+  CpuId waker_cpu = kInvalidCpu;
+  Time now = 0;
+  // Allowed online cpus (affinity already applied).
+  CpuSet allowed;
+};
+
+class WakePolicy {
+ public:
+  virtual ~WakePolicy() = default;
+
+  // Returns the suggested cpu, or kInvalidCpu to abstain (the next module,
+  // or the stock path, then decides).
+  virtual CpuId Suggest(const WakeContext& ctx) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_CORE_WAKE_POLICY_H_

@@ -1,0 +1,49 @@
+// Per-core CPU time accounting maintained by the simulator.
+#ifndef SRC_METRICS_ACCOUNTING_H_
+#define SRC_METRICS_ACCOUNTING_H_
+
+#include <vector>
+
+#include "src/simkit/cpuset.h"
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+class CpuAccounting {
+ public:
+  explicit CpuAccounting(int n_cpus) : busy_(n_cpus, 0) {}
+
+  void AddBusy(CpuId cpu, Time delta) { busy_[cpu] += delta; }
+
+  Time Busy(CpuId cpu) const { return busy_[cpu]; }
+
+  Time TotalBusy() const {
+    Time total = 0;
+    for (Time b : busy_) {
+      total += b;
+    }
+    return total;
+  }
+
+  // Fraction of `elapsed` the core spent running threads.
+  double Utilization(CpuId cpu, Time elapsed) const {
+    return elapsed == 0 ? 0.0 : static_cast<double>(busy_[cpu]) / static_cast<double>(elapsed);
+  }
+
+  double MachineUtilization(Time elapsed) const {
+    if (elapsed == 0 || busy_.empty()) {
+      return 0.0;
+    }
+    return static_cast<double>(TotalBusy()) /
+           (static_cast<double>(elapsed) * static_cast<double>(busy_.size()));
+  }
+
+  int n_cpus() const { return static_cast<int>(busy_.size()); }
+
+ private:
+  std::vector<Time> busy_;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_METRICS_ACCOUNTING_H_

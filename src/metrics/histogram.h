@@ -1,0 +1,81 @@
+// Small statistics helpers used by benches and tests.
+#ifndef SRC_METRICS_HISTOGRAM_H_
+#define SRC_METRICS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace wcores {
+
+// Accumulates samples; computes mean / quantiles on demand.
+class Summary {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t Count() const { return samples_.size(); }
+
+  double Sum() const {
+    double s = 0;
+    for (double v : samples_) {
+      s += v;
+    }
+    return s;
+  }
+
+  double Mean() const { return samples_.empty() ? 0.0 : Sum() / samples_.size(); }
+
+  double Min() const {
+    EnsureSorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+  }
+
+  double Max() const {
+    EnsureSorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+  }
+
+  // Linear-interpolated quantile, q in [0, 1].
+  double Quantile(double q) const {
+    EnsureSorted();
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double pos = q * (samples_.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - lo;
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  double Stddev() const {
+    if (samples_.size() < 2) {
+      return 0.0;
+    }
+    double m = Mean();
+    double acc = 0;
+    for (double v : samples_) {
+      acc += (v - m) * (v - m);
+    }
+    return std::sqrt(acc / (samples_.size() - 1));
+  }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_METRICS_HISTOGRAM_H_

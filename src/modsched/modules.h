@@ -1,0 +1,114 @@
+// Optimization modules for the modular scheduler (§5 of the paper).
+//
+// "If every good scheduling idea is slapped as an add-on to a single
+// monolithic scheduler, we risk more complexity and more bugs. ... We
+// envision a scheduler that is a collection of modules: the core module and
+// optimization modules."
+//
+// Each class here is one such optimization module, expressed as a WakePolicy
+// (src/core/wake_policy.h). The Scheduler core arbitrates: it takes a
+// module's suggestion whenever feasible and overrides it when it would leave
+// an allowed core idle while placing the thread on a busy one — the basic
+// invariant the paper says the core must always maintain. The demonstration
+// (examples/modular_scheduler.cpp, tests/modsched/modular_test.cc) shows
+// that even an aggressively cache-greedy module cannot reintroduce the
+// Overload-on-Wakeup pathology through this interface.
+#ifndef SRC_MODSCHED_MODULES_H_
+#define SRC_MODSCHED_MODULES_H_
+
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/core/wake_policy.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+
+// Maximal cache reuse: always suggest the core the thread last ran on,
+// whatever its load. Unchecked, this is worse than the Overload-on-Wakeup
+// bug; under the core's arbitration it is safe.
+class CacheAffinityModule : public WakePolicy {
+ public:
+  CpuId Suggest(const WakeContext& ctx) override {
+    CpuId prev = ctx.entity->cpu;
+    if (prev != kInvalidCpu && ctx.allowed.Test(prev)) {
+      return prev;
+    }
+    return kInvalidCpu;
+  }
+  const char* name() const override { return "cache-affinity"; }
+};
+
+// Keep the thread on the NUMA node of its memory (approximated by the node
+// it last ran on): suggest an idle core of that node, else the least-loaded
+// core of that node.
+class NumaLocalityModule : public WakePolicy {
+ public:
+  CpuId Suggest(const WakeContext& ctx) override {
+    CpuId prev = ctx.entity->cpu;
+    if (prev == kInvalidCpu) {
+      return kInvalidCpu;
+    }
+    const Topology& topo = ctx.sched->topology();
+    CpuSet node_cpus = topo.CpusOfNode(topo.NodeOf(prev)) & ctx.allowed;
+    if (node_cpus.Empty()) {
+      return kInvalidCpu;
+    }
+    CpuId best = kInvalidCpu;
+    int best_nr = 0;
+    for (CpuId c : node_cpus) {
+      int nr = ctx.sched->NrRunning(c);
+      if (nr == 0) {
+        return c;
+      }
+      if (best == kInvalidCpu || nr < best_nr) {
+        best = c;
+        best_nr = nr;
+      }
+    }
+    return best;
+  }
+  const char* name() const override { return "numa-locality"; }
+};
+
+// Spread load: suggest the longest-idle allowed core (the paper's
+// Overload-on-Wakeup fix, as a module).
+class LoadSpreadModule : public WakePolicy {
+ public:
+  CpuId Suggest(const WakeContext& ctx) override {
+    return ctx.sched->LongestIdleCpu(ctx.allowed);
+  }
+  const char* name() const override { return "load-spread"; }
+};
+
+// Combines modules by priority: the first non-abstaining suggestion wins
+// (the core still arbitrates the final answer). This is the "how to combine
+// multiple optimizations" question §5 leaves open, answered the simplest
+// defensible way: a strict priority order.
+class ModuleChain : public WakePolicy {
+ public:
+  void Add(WakePolicy* module) { modules_.push_back(module); }
+
+  CpuId Suggest(const WakeContext& ctx) override {
+    for (WakePolicy* module : modules_) {
+      CpuId cpu = module->Suggest(ctx);
+      if (cpu != kInvalidCpu) {
+        last_winner_ = module->name();
+        return cpu;
+      }
+    }
+    last_winner_ = nullptr;
+    return kInvalidCpu;
+  }
+
+  const char* name() const override { return "chain"; }
+  const char* last_winner() const { return last_winner_; }
+
+ private:
+  std::vector<WakePolicy*> modules_;
+  const char* last_winner_ = nullptr;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_MODSCHED_MODULES_H_

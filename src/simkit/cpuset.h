@@ -1,0 +1,201 @@
+// A fixed-capacity CPU bitmask, analogous to the kernel's cpumask_t.
+//
+// Used for thread affinity (taskset), scheduling-group membership, and the
+// "considered cores" bitmaps recorded by the visualization tool.
+#ifndef SRC_SIMKIT_CPUSET_H_
+#define SRC_SIMKIT_CPUSET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wcores {
+
+// Core identifier. Cores are numbered densely from 0.
+using CpuId = int;
+constexpr CpuId kInvalidCpu = -1;
+
+// Maximum number of cores a machine may have. The paper's machine has 64;
+// 256 leaves room for larger synthetic topologies.
+constexpr int kMaxCpus = 256;
+
+class CpuSet {
+ public:
+  constexpr CpuSet() : words_{} {}
+
+  // A set containing cpus [0, n).
+  static CpuSet FirstN(int n) {
+    CpuSet s;
+    for (int i = 0; i < n; ++i) {
+      s.Set(i);
+    }
+    return s;
+  }
+
+  static CpuSet Single(CpuId cpu) {
+    CpuSet s;
+    s.Set(cpu);
+    return s;
+  }
+
+  constexpr void Set(CpuId cpu) { words_[Word(cpu)] |= Bit(cpu); }
+  constexpr void Clear(CpuId cpu) { words_[Word(cpu)] &= ~Bit(cpu); }
+  constexpr bool Test(CpuId cpu) const { return (words_[Word(cpu)] & Bit(cpu)) != 0; }
+
+  constexpr void SetAll(int n_cpus) {
+    for (int i = 0; i < n_cpus; ++i) {
+      Set(i);
+    }
+  }
+
+  constexpr void Reset() {
+    for (auto& w : words_) {
+      w = 0;
+    }
+  }
+
+  constexpr bool Empty() const {
+    for (auto w : words_) {
+      if (w != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  constexpr int Count() const {
+    int n = 0;
+    for (auto w : words_) {
+      n += __builtin_popcountll(w);
+    }
+    return n;
+  }
+
+  // Lowest set cpu, or kInvalidCpu if empty.
+  constexpr CpuId First() const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] != 0) {
+        return i * 64 + __builtin_ctzll(words_[i]);
+      }
+    }
+    return kInvalidCpu;
+  }
+
+  // Lowest set cpu strictly greater than `cpu`, or kInvalidCpu.
+  constexpr CpuId Next(CpuId cpu) const {
+    int start = cpu + 1;
+    if (start >= kMaxCpus) {
+      return kInvalidCpu;
+    }
+    int w = Word(start);
+    uint64_t masked = words_[w] & (~uint64_t{0} << (start % 64));
+    if (masked != 0) {
+      return w * 64 + __builtin_ctzll(masked);
+    }
+    for (int i = w + 1; i < kWords; ++i) {
+      if (words_[i] != 0) {
+        return i * 64 + __builtin_ctzll(words_[i]);
+      }
+    }
+    return kInvalidCpu;
+  }
+
+  constexpr CpuSet operator&(const CpuSet& other) const {
+    CpuSet r;
+    for (int i = 0; i < kWords; ++i) {
+      r.words_[i] = words_[i] & other.words_[i];
+    }
+    return r;
+  }
+
+  constexpr CpuSet operator|(const CpuSet& other) const {
+    CpuSet r;
+    for (int i = 0; i < kWords; ++i) {
+      r.words_[i] = words_[i] | other.words_[i];
+    }
+    return r;
+  }
+
+  constexpr CpuSet operator~() const {
+    CpuSet r;
+    for (int i = 0; i < kWords; ++i) {
+      r.words_[i] = ~words_[i];
+    }
+    return r;
+  }
+
+  constexpr CpuSet& operator&=(const CpuSet& other) {
+    for (int i = 0; i < kWords; ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+
+  constexpr CpuSet& operator|=(const CpuSet& other) {
+    for (int i = 0; i < kWords; ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+
+  constexpr bool operator==(const CpuSet& other) const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] != other.words_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  constexpr bool operator!=(const CpuSet& other) const { return !(*this == other); }
+
+  constexpr bool Intersects(const CpuSet& other) const {
+    for (int i = 0; i < kWords; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  constexpr bool ContainsAll(const CpuSet& other) const {
+    for (int i = 0; i < kWords; ++i) {
+      if ((other.words_[i] & ~words_[i]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Renders like "0-3,8,10-11".
+  std::string ToString() const;
+
+  // Iteration support: for (CpuId c : set) { ... }
+  class Iterator {
+   public:
+    Iterator(const CpuSet* set, CpuId cpu) : set_(set), cpu_(cpu) {}
+    CpuId operator*() const { return cpu_; }
+    Iterator& operator++() {
+      cpu_ = set_->Next(cpu_);
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return cpu_ != other.cpu_; }
+
+   private:
+    const CpuSet* set_;
+    CpuId cpu_;
+  };
+
+  Iterator begin() const { return Iterator(this, First()); }
+  Iterator end() const { return Iterator(this, kInvalidCpu); }
+
+ private:
+  static constexpr int kWords = kMaxCpus / 64;
+  static constexpr int Word(CpuId cpu) { return cpu / 64; }
+  static constexpr uint64_t Bit(CpuId cpu) { return uint64_t{1} << (cpu % 64); }
+
+  uint64_t words_[kWords];
+};
+
+}  // namespace wcores
+
+#endif  // SRC_SIMKIT_CPUSET_H_

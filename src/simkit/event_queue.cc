@@ -1,0 +1,71 @@
+#include "src/simkit/event_queue.h"
+
+#include "src/simkit/check.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace wcores {
+
+EventHandle EventQueue::ScheduleAt(Time when, Callback fn) {
+  WC_CHECK(when >= now_, "cannot schedule events in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  Push(Entry{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void EventQueue::Push(Entry entry) {
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+}
+
+void EventQueue::Pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+  heap_.pop_back();
+}
+
+bool EventQueue::RunOne(Time until) {
+  // Skip cancelled entries.
+  while (!heap_.empty() && *heap_.front().cancelled) {
+    Pop();
+  }
+  if (heap_.empty()) {
+    return false;
+  }
+  if (heap_.front().when > until) {
+    if (until != kTimeNever) {
+      now_ = std::max(now_, until);
+    }
+    return false;
+  }
+  Entry entry = std::move(heap_.front());
+  Pop();
+  now_ = entry.when;
+  *entry.cancelled = true;  // Marks the handle non-pending once fired.
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+bool EventQueue::Empty() const { return LiveCount() == 0; }
+
+size_t EventQueue::LiveCount() const {
+  size_t n = 0;
+  for (const auto& entry : heap_) {
+    if (!*entry.cancelled) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t EventQueue::RunUntil(Time until) {
+  uint64_t n = 0;
+  while (RunOne(until)) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace wcores

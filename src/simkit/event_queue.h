@@ -1,0 +1,113 @@
+// Discrete-event queue: the heart of the simulator.
+//
+// Events are (time, sequence, callback) triples ordered by time, with the
+// sequence number breaking ties so that two events scheduled for the same
+// instant fire in scheduling order. Determinism of the whole simulation
+// follows from this total order plus seeded RNG.
+//
+// Events can be cancelled cheaply: Schedule() returns an EventHandle whose
+// cancellation marks the heap entry dead; dead entries are skipped on pop
+// (lazy deletion). This is how per-core tick timers and sleep timers are
+// retargeted without heap surgery.
+#ifndef SRC_SIMKIT_EVENT_QUEUE_H_
+#define SRC_SIMKIT_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+class EventQueue;
+
+// Shared cancellation token for a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  bool Pending() const { return state_ && !*state_; }
+
+  // Cancel the event if still pending. Safe to call repeatedly or on a
+  // default-constructed handle.
+  void Cancel() {
+    if (state_) {
+      *state_ = true;
+    }
+    state_.reset();
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<bool> state_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `when` (must be >= now()).
+  EventHandle ScheduleAt(Time when, Callback fn);
+
+  // Schedule `fn` to run `delay` from now.
+  EventHandle ScheduleAfter(Time delay, Callback fn) { return ScheduleAt(now_ + delay, fn); }
+
+  // True if no live (non-cancelled) events remain. O(heap size).
+  bool Empty() const;
+
+  size_t LiveCount() const;
+
+  // Run the earliest event. Returns false if the queue is empty or the next
+  // event is later than `until` (clock is then advanced to `until`).
+  bool RunOne(Time until = kTimeNever);
+
+  // Run events until the queue drains or the clock reaches `until`.
+  // Returns the number of events executed.
+  uint64_t RunUntil(Time until);
+
+  // Run everything. Returns the number of events executed.
+  uint64_t RunAll() { return RunUntil(kTimeNever); }
+
+  // Total events executed over the queue's lifetime.
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Push(Entry entry);
+  void Pop();
+
+  std::vector<Entry> heap_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_SIMKIT_EVENT_QUEUE_H_

@@ -1,0 +1,35 @@
+#include "src/simkit/log.h"
+
+namespace wcores {
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Logv(LogLevel level, const char* fmt, va_list args) {
+  if (level < level_) {
+    return;
+  }
+  static const char* const kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  if (clock_ != nullptr) {
+    std::fprintf(stderr, "[%12s] %-5s ", FormatTime(*clock_).c_str(),
+                 kNames[static_cast<int>(level)]);
+  } else {
+    std::fprintf(stderr, "%-5s ", kNames[static_cast<int>(level)]);
+  }
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+void Logger::Log(LogLevel level, const char* fmt, ...) {
+  if (level < level_) {
+    return;
+  }
+  va_list args;
+  va_start(args, fmt);
+  Logv(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace wcores

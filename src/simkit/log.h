@@ -1,0 +1,51 @@
+// Minimal leveled logging for the simulator and tools.
+//
+// Logging is off (kWarn) by default so that benchmarks stay quiet; tests and
+// examples can raise verbosity. Output carries the virtual timestamp when a
+// clock is attached, which makes traces directly comparable across runs.
+#ifndef SRC_SIMKIT_LOG_H_
+#define SRC_SIMKIT_LOG_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // The logger renders `*clock` as a virtual timestamp prefix when attached.
+  void AttachClock(const Time* clock) { clock_ = clock; }
+
+  void Logv(LogLevel level, const char* fmt, va_list args);
+  void Log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kWarn;
+  const Time* clock_ = nullptr;
+};
+
+#define WC_LOG(level, ...) ::wcores::Logger::Get().Log(level, __VA_ARGS__)
+#define WC_DEBUG(...) WC_LOG(::wcores::LogLevel::kDebug, __VA_ARGS__)
+#define WC_INFO(...) WC_LOG(::wcores::LogLevel::kInfo, __VA_ARGS__)
+#define WC_WARN(...) WC_LOG(::wcores::LogLevel::kWarn, __VA_ARGS__)
+#define WC_ERROR(...) WC_LOG(::wcores::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace wcores
+
+#endif  // SRC_SIMKIT_LOG_H_

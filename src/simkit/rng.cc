@@ -1,0 +1,20 @@
+#include "src/simkit/rng.h"
+
+#include <cmath>
+
+namespace wcores {
+
+Time Rng::NextExponential(Time mean) {
+  // Inverse-CDF sampling; clamp u away from 0 so log() is finite.
+  double u = NextDouble();
+  if (u < 1e-12) {
+    u = 1e-12;
+  }
+  double value = -std::log(u) * static_cast<double>(mean);
+  if (value < 0) {
+    value = 0;
+  }
+  return static_cast<Time>(value);
+}
+
+}  // namespace wcores

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Simulation results must be reproducible from a seed alone, so this library
+// never touches wall-clock entropy. The generator is xoshiro256**, seeded via
+// SplitMix64, which is the conventional, well-tested combination.
+#ifndef SRC_SIMKIT_RNG_H_
+#define SRC_SIMKIT_RNG_H_
+
+#include <cstdint>
+
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+// SplitMix64 step; used standalone for seeding and cheap hashing.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** generator. Cheap to copy; fork() derives independent streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Lemire's multiply-shift rejection-free-enough reduction; bias is
+    // negligible for simulation bounds (<< 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * static_cast<__uint128_t>(bound)) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Duration uniform in [lo, hi].
+  Time NextTime(Time lo, Time hi) { return NextInRange(lo, hi); }
+
+  // Exponentially distributed duration with the given mean (for Poisson
+  // arrival processes such as transient kernel threads).
+  Time NextExponential(Time mean);
+
+  // A new, statistically independent generator derived from this one.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace wcores
+
+#endif  // SRC_SIMKIT_RNG_H_

@@ -1,0 +1,22 @@
+#include "src/simkit/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace wcores {
+
+std::string FormatTime(Time t) {
+  char buf[64];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(t));
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMilliseconds(t));
+  } else if (t >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ToMicroseconds(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "ns", t);
+  }
+  return buf;
+}
+
+}  // namespace wcores

@@ -1,0 +1,41 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is expressed in nanoseconds since simulation start, as a
+// 64-bit unsigned integer. 2^64 ns is about 584 years, far beyond any run.
+#ifndef SRC_SIMKIT_TIME_H_
+#define SRC_SIMKIT_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wcores {
+
+// Nanoseconds of virtual time.
+using Time = uint64_t;
+
+// Signed durations are occasionally useful (e.g. vruntime deltas).
+using Duration = int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+// A value no event can be scheduled at; used as "never" / "unset".
+constexpr Time kTimeNever = ~Time{0};
+
+constexpr Time Nanoseconds(uint64_t n) { return n * kNanosecond; }
+constexpr Time Microseconds(uint64_t n) { return n * kMicrosecond; }
+constexpr Time Milliseconds(uint64_t n) { return n * kMillisecond; }
+constexpr Time Seconds(uint64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) / kSecond; }
+constexpr double ToMilliseconds(Time t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToMicroseconds(Time t) { return static_cast<double>(t) / kMicrosecond; }
+
+// Human-readable rendering, e.g. "1.204s", "350.0ms", "12.5us", "900ns".
+std::string FormatTime(Time t);
+
+}  // namespace wcores
+
+#endif  // SRC_SIMKIT_TIME_H_

@@ -1,0 +1,198 @@
+#include "src/tools/heatmap.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wcores {
+
+Heatmap BuildHeatmap(const std::vector<TraceEvent>& events, TraceEvent::Kind kind, int n_cpus,
+                     Time t0, Time t1, int n_bins) {
+  Heatmap map;
+  map.n_cpus = n_cpus;
+  map.n_bins = n_bins;
+  map.t0 = t0;
+  map.t1 = t1;
+  map.cells.assign(static_cast<size_t>(n_cpus) * n_bins, 0.0);
+  if (t1 <= t0 || n_bins <= 0) {
+    return map;
+  }
+
+  // Integrate the piecewise-constant signal per cpu: walk events in order,
+  // accumulating value * dt into the bins the interval covers.
+  std::vector<double> current(n_cpus, 0.0);
+  std::vector<Time> last(n_cpus, t0);
+
+  auto accumulate = [&](int cpu, Time from, Time to, double value) {
+    if (to <= from || to <= t0 || from >= t1) {
+      return;
+    }
+    from = std::max(from, t0);
+    to = std::min(to, t1);
+    double bin_width = static_cast<double>(t1 - t0) / n_bins;
+    int b0 = static_cast<int>(static_cast<double>(from - t0) / bin_width);
+    int b1 = static_cast<int>(static_cast<double>(to - t0) / bin_width);
+    b0 = std::clamp(b0, 0, n_bins - 1);
+    b1 = std::clamp(b1, 0, n_bins - 1);
+    for (int b = b0; b <= b1; ++b) {
+      Time bin_start = t0 + static_cast<Time>(b * bin_width);
+      Time bin_end = t0 + static_cast<Time>((b + 1) * bin_width);
+      Time lo = std::max(from, bin_start);
+      Time hi = std::min(to, bin_end);
+      if (hi > lo) {
+        map.At(cpu, b) += value * static_cast<double>(hi - lo);
+      }
+    }
+  };
+
+  for (const TraceEvent& e : events) {
+    if (e.kind != kind || e.cpu < 0 || e.cpu >= n_cpus) {
+      continue;
+    }
+    if (e.when >= t1) {
+      break;
+    }
+    accumulate(e.cpu, last[e.cpu], e.when, current[e.cpu]);
+    current[e.cpu] = e.value;
+    last[e.cpu] = e.when;
+  }
+  for (int c = 0; c < n_cpus; ++c) {
+    accumulate(c, last[c], t1, current[c]);
+  }
+
+  // Normalize integrals into time-weighted averages.
+  double bin_width = static_cast<double>(t1 - t0) / n_bins;
+  for (double& cell : map.cells) {
+    cell /= bin_width;
+  }
+  return map;
+}
+
+std::string HeatmapToCsv(const Heatmap& map) {
+  std::string out = "core";
+  char buf[64];
+  for (int b = 0; b < map.n_bins; ++b) {
+    double t_ms = ToMilliseconds(map.t0) +
+                  (b + 0.5) * (ToMilliseconds(map.t1) - ToMilliseconds(map.t0)) / map.n_bins;
+    std::snprintf(buf, sizeof(buf), ",t%.1fms", t_ms);
+    out += buf;
+  }
+  out += '\n';
+  for (int c = 0; c < map.n_cpus; ++c) {
+    std::snprintf(buf, sizeof(buf), "%d", c);
+    out += buf;
+    for (int b = 0; b < map.n_bins; ++b) {
+      std::snprintf(buf, sizeof(buf), ",%.4f", map.At(c, b));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string HeatmapToAscii(const Heatmap& map, int cores_per_node, double max_value) {
+  static const char kScale[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kScale) - 2);
+  if (max_value <= 0) {
+    for (double v : map.cells) {
+      max_value = std::max(max_value, v);
+    }
+    if (max_value <= 0) {
+      max_value = 1;
+    }
+  }
+  std::string out;
+  char buf[32];
+  for (int c = 0; c < map.n_cpus; ++c) {
+    if (cores_per_node > 0 && c > 0 && c % cores_per_node == 0) {
+      out += "     ";
+      out.append(static_cast<size_t>(map.n_bins), '-');
+      out += '\n';
+    }
+    std::snprintf(buf, sizeof(buf), "%3d |", c);
+    out += buf;
+    for (int b = 0; b < map.n_bins; ++b) {
+      double norm = std::clamp(map.At(c, b) / max_value, 0.0, 1.0);
+      out += kScale[static_cast<int>(norm * kLevels)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string HeatmapToPgm(const Heatmap& map, double max_value) {
+  if (max_value <= 0) {
+    for (double v : map.cells) {
+      max_value = std::max(max_value, v);
+    }
+    if (max_value <= 0) {
+      max_value = 1;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "P2\n%d %d\n255\n", map.n_bins, map.n_cpus);
+  std::string out = buf;
+  for (int c = 0; c < map.n_cpus; ++c) {
+    for (int b = 0; b < map.n_bins; ++b) {
+      int level = static_cast<int>(std::clamp(map.At(c, b) / max_value, 0.0, 1.0) * 255.0);
+      std::snprintf(buf, sizeof(buf), "%d ", level);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ConsideredToCsv(const std::vector<TraceEvent>& events, CpuId initiator) {
+  static const char* const kKinds[] = {"periodic", "idle", "nohz", "wakeup"};
+  std::string out = "time_ms,kind,cores\n";
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::kConsidered || e.cpu != initiator) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%.3f,%s,", ToMilliseconds(e.when), kKinds[e.sub]);
+    out += buf;
+    out += e.considered.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ConsideredToAscii(const std::vector<TraceEvent>& events, CpuId initiator, int n_cpus,
+                              int max_calls) {
+  // Collect the first `max_calls` balancing events from `initiator`.
+  std::vector<const TraceEvent*> calls;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kConsidered && e.cpu == initiator &&
+        e.sub != static_cast<uint8_t>(ConsideredKind::kWakeup)) {
+      calls.push_back(&e);
+      if (static_cast<int>(calls.size()) >= max_calls) {
+        break;
+      }
+    }
+  }
+  std::string out;
+  char buf[32];
+  for (int c = 0; c < n_cpus; ++c) {
+    std::snprintf(buf, sizeof(buf), "%3d |", c);
+    out += buf;
+    for (const TraceEvent* e : calls) {
+      out += e->considered.Test(c) ? '|' : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+CpuSet ConsideredUnion(const std::vector<TraceEvent>& events, CpuId initiator) {
+  CpuSet all;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kConsidered && e.cpu == initiator &&
+        e.sub != static_cast<uint8_t>(ConsideredKind::kWakeup)) {
+      all |= e.considered;
+    }
+  }
+  return all;
+}
+
+}  // namespace wcores

@@ -1,0 +1,56 @@
+// The rendering side of the visualization tool (§4.2): turns a recorded
+// event stream into the paper's figures — heatmaps of runqueue size
+// (Figures 2a/2c/3/5) and load (Figure 2b), and considered-core timelines
+// (Figures 5's vertical lines).
+#ifndef SRC_TOOLS_HEATMAP_H_
+#define SRC_TOOLS_HEATMAP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tools/recorder.h"
+
+namespace wcores {
+
+// rows = cores, cols = time bins; values are time-weighted averages of the
+// quantity (runqueue size or load) over each bin.
+struct Heatmap {
+  int n_cpus = 0;
+  int n_bins = 0;
+  Time t0 = 0;
+  Time t1 = 0;
+  std::vector<double> cells;  // n_cpus * n_bins, row-major.
+
+  double& At(int cpu, int bin) { return cells[static_cast<size_t>(cpu) * n_bins + bin]; }
+  double At(int cpu, int bin) const { return cells[static_cast<size_t>(cpu) * n_bins + bin]; }
+};
+
+// Builds a heatmap of kNrRunning or kLoad events over [t0, t1).
+Heatmap BuildHeatmap(const std::vector<TraceEvent>& events, TraceEvent::Kind kind, int n_cpus,
+                     Time t0, Time t1, int n_bins);
+
+// CSV: one row per core, one column per bin (plus a header of bin times).
+std::string HeatmapToCsv(const Heatmap& map);
+
+// Terminal rendering: one row per core, darkness scale " .:-=+*#%@".
+// `cores_per_node` > 0 inserts a separator line between NUMA nodes.
+std::string HeatmapToAscii(const Heatmap& map, int cores_per_node = 0, double max_value = -1);
+
+// Portable graymap (PGM) for external viewers.
+std::string HeatmapToPgm(const Heatmap& map, double max_value = -1);
+
+// Considered-core events from `initiator` (Figure 5): each line is
+// "time_ms,kind,core0,core1,..." listing the cores examined.
+std::string ConsideredToCsv(const std::vector<TraceEvent>& events, CpuId initiator);
+
+// ASCII matrix for considered-core events from one initiator: rows = cpus,
+// cols = successive balancing calls; '|' marks a considered core.
+std::string ConsideredToAscii(const std::vector<TraceEvent>& events, CpuId initiator, int n_cpus,
+                              int max_calls = 80);
+
+// Union of all cores `initiator` examined in balancing events.
+CpuSet ConsideredUnion(const std::vector<TraceEvent>& events, CpuId initiator);
+
+}  // namespace wcores
+
+#endif  // SRC_TOOLS_HEATMAP_H_

@@ -1,0 +1,79 @@
+#include "src/tools/profiler.h"
+
+#include <cstdio>
+#include <map>
+
+namespace wcores {
+
+BalanceProfile ProfileFromStats(const SchedStats& before, const SchedStats& after, Time t0,
+                                Time t1) {
+  BalanceProfile p;
+  p.window_start = t0;
+  p.window_end = t1;
+  p.balance_calls = after.balance_calls - before.balance_calls;
+  p.found_busiest = after.balance_found_busiest - before.balance_found_busiest;
+  p.below_local = after.balance_below_local - before.balance_below_local;
+  p.designation_skips = after.balance_designation_skips - before.balance_designation_skips;
+  p.affinity_retries = after.balance_affinity_retries - before.balance_affinity_retries;
+  p.failures = after.balance_failures - before.balance_failures;
+  p.migrations = after.TotalMigrations() - before.TotalMigrations();
+  p.wakeups = after.wakeups - before.wakeups;
+  p.wakeups_on_busy = after.wakeups_on_busy - before.wakeups_on_busy;
+  return p;
+}
+
+std::string ProfileReport(const BalanceProfile& p) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "balance profile [%s, %s]:\n"
+      "  balance calls        %llu (found busiest: %llu)\n"
+      "  gave up, not above local load   %llu\n"
+      "  skipped, not designated core    %llu\n"
+      "  affinity (taskset) retries      %llu\n"
+      "  moved nothing                   %llu\n"
+      "  migrations                      %llu\n"
+      "  wakeups                         %llu (onto busy cores: %llu)\n",
+      FormatTime(p.window_start).c_str(), FormatTime(p.window_end).c_str(),
+      static_cast<unsigned long long>(p.balance_calls),
+      static_cast<unsigned long long>(p.found_busiest),
+      static_cast<unsigned long long>(p.below_local),
+      static_cast<unsigned long long>(p.designation_skips),
+      static_cast<unsigned long long>(p.affinity_retries),
+      static_cast<unsigned long long>(p.failures),
+      static_cast<unsigned long long>(p.migrations), static_cast<unsigned long long>(p.wakeups),
+      static_cast<unsigned long long>(p.wakeups_on_busy));
+  return buf;
+}
+
+std::string ConsideredSummary(const EventRecorder& recorder, Time t0, Time t1, int n_cpus) {
+  // initiator -> (call count, union of considered cores).
+  std::map<int, std::pair<uint64_t, CpuSet>> per_cpu;
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind != TraceEvent::Kind::kConsidered || e.when < t0 || e.when >= t1) {
+      continue;
+    }
+    if (e.sub == static_cast<uint8_t>(ConsideredKind::kWakeup)) {
+      continue;
+    }
+    auto& entry = per_cpu[e.cpu];
+    entry.first += 1;
+    entry.second |= e.considered;
+  }
+  std::string out = "balancing calls per initiator core:\n";
+  char buf[128];
+  for (int c = 0; c < n_cpus; ++c) {
+    auto it = per_cpu.find(c);
+    if (it == per_cpu.end()) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "  core %3d: %6llu calls, examined cores ", c,
+                  static_cast<unsigned long long>(it->second.first));
+    out += buf;
+    out += it->second.second.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wcores

@@ -1,0 +1,15 @@
+#include "src/tools/recorder.h"
+
+namespace wcores {
+
+uint64_t EventRecorder::CountKind(TraceEvent::Kind kind) const {
+  uint64_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace wcores

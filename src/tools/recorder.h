@@ -1,0 +1,135 @@
+// The scheduler visualization tool's data collection side (§4.2).
+//
+// "To provide maximum accuracy, it does not use sampling; it records every
+// change in the size of run queues or load, as well as a set of considered
+// cores at each load rebalancing or thread wakeup event. To keep the
+// overhead low, we store all profiling information in a large global array
+// in memory of a static size."
+//
+// This recorder is the TraceSink the scheduler calls; src/tools/heatmap.h
+// turns the array into the paper's figures.
+#ifndef SRC_TOOLS_RECORDER_H_
+#define SRC_TOOLS_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/trace.h"
+#include "src/simkit/cpuset.h"
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kNrRunning,   // value = new runqueue size of `cpu`.
+    kLoad,        // value = new runqueue load of `cpu`.
+    kConsidered,  // `cpu` examined `considered` during balancing/wakeup.
+    kMigration,   // thread `tid` moved `cpu` -> `cpu2`.
+  };
+
+  Time when = 0;
+  Kind kind = Kind::kNrRunning;
+  uint8_t sub = 0;  // ConsideredKind or MigrationReason.
+  int16_t cpu = -1;
+  int16_t cpu2 = -1;
+  int32_t tid = -1;
+  double value = 0;
+  CpuSet considered;  // Only meaningful for kConsidered.
+};
+
+class EventRecorder : public TraceSink {
+ public:
+  // `capacity` bounds memory like the paper's static global array; further
+  // events are dropped (and counted).
+  explicit EventRecorder(size_t capacity = 1 << 22) : capacity_(capacity) {
+    events_.reserve(capacity < 4096 ? capacity : 4096);
+  }
+
+  void OnNrRunning(Time now, CpuId cpu, int nr_running) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kNrRunning, 0, static_cast<int16_t>(cpu), -1, -1,
+                      static_cast<double>(nr_running), CpuSet{}});
+  }
+
+  void OnLoad(Time now, CpuId cpu, double load) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kLoad, 0, static_cast<int16_t>(cpu), -1, -1, load,
+                      CpuSet{}});
+  }
+
+  void OnConsidered(Time now, CpuId initiator, const CpuSet& considered,
+                    ConsideredKind kind) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kConsidered, static_cast<uint8_t>(kind),
+                      static_cast<int16_t>(initiator), -1, -1, 0, considered});
+  }
+
+  void OnMigration(Time now, ThreadId tid, CpuId from, CpuId to, MigrationReason reason) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kMigration, static_cast<uint8_t>(reason),
+                      static_cast<int16_t>(from), static_cast<int16_t>(to), tid, 0, CpuSet{}});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  // Recording can be paused (the paper's profiler "is only active when a
+  // bug is detected").
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  uint64_t CountKind(TraceEvent::Kind kind) const;
+
+ private:
+  void Append(TraceEvent event) {
+    if (!enabled_) {
+      return;
+    }
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(event);
+  }
+
+  size_t capacity_;
+  bool enabled_ = true;
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+// Fans one scheduler trace stream out to several sinks.
+class MultiSink : public TraceSink {
+ public:
+  void Add(TraceSink* sink) { sinks_.push_back(sink); }
+
+  void OnNrRunning(Time now, CpuId cpu, int nr) override {
+    for (TraceSink* s : sinks_) {
+      s->OnNrRunning(now, cpu, nr);
+    }
+  }
+  void OnLoad(Time now, CpuId cpu, double load) override {
+    for (TraceSink* s : sinks_) {
+      s->OnLoad(now, cpu, load);
+    }
+  }
+  void OnConsidered(Time now, CpuId initiator, const CpuSet& considered,
+                    ConsideredKind kind) override {
+    for (TraceSink* s : sinks_) {
+      s->OnConsidered(now, initiator, considered, kind);
+    }
+  }
+  void OnMigration(Time now, ThreadId tid, CpuId from, CpuId to, MigrationReason reason) override {
+    for (TraceSink* s : sinks_) {
+      s->OnMigration(now, tid, from, to, reason);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_TOOLS_RECORDER_H_

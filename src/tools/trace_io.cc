@@ -1,0 +1,185 @@
+#include "src/tools/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wcores {
+
+namespace {
+
+char KindChar(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kNrRunning:
+      return 'N';
+    case TraceEvent::Kind::kLoad:
+      return 'L';
+    case TraceEvent::Kind::kConsidered:
+      return 'C';
+    case TraceEvent::Kind::kMigration:
+      return 'M';
+  }
+  return '?';
+}
+
+bool KindFromChar(char c, TraceEvent::Kind* kind) {
+  switch (c) {
+    case 'N':
+      *kind = TraceEvent::Kind::kNrRunning;
+      return true;
+    case 'L':
+      *kind = TraceEvent::Kind::kLoad;
+      return true;
+    case 'C':
+      *kind = TraceEvent::Kind::kConsidered;
+      return true;
+    case 'M':
+      *kind = TraceEvent::Kind::kMigration;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Parses "a-b" / "a" tokens separated by commas into a CpuSet.
+bool CpuSetFromString(const std::string& text, CpuSet* set) {
+  set->Reset();
+  if (text.empty() || text == "(empty)") {
+    return true;
+  }
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char* end = nullptr;
+    long lo = std::strtol(text.c_str() + pos, &end, 10);
+    if (end == text.c_str() + pos || lo < 0 || lo >= kMaxCpus) {
+      return false;
+    }
+    long hi = lo;
+    pos = static_cast<size_t>(end - text.c_str());
+    if (pos < text.size() && text[pos] == '-') {
+      hi = std::strtol(text.c_str() + pos + 1, &end, 10);
+      if (hi < lo || hi >= kMaxCpus) {
+        return false;
+      }
+      pos = static_cast<size_t>(end - text.c_str());
+    }
+    for (long c = lo; c <= hi; ++c) {
+      set->Set(static_cast<CpuId>(c));
+    }
+    if (pos < text.size()) {
+      if (text[pos] != ',') {
+        return false;
+      }
+      ++pos;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TraceToCsv(const std::vector<TraceEvent>& events) {
+  std::string out = "ns,kind,sub,cpu,cpu2,tid,value,considered\n";
+  char buf[160];
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",%c,%u,%d,%d,%d,%.17g,", e.when,
+                  KindChar(e.kind), e.sub, e.cpu, e.cpu2, e.tid, e.value);
+    out += buf;
+    if (e.kind == TraceEvent::Kind::kConsidered) {
+      out += e.considered.ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void WriteTraceCsv(const std::string& path, const std::vector<TraceEvent>& events) {
+  std::ofstream out(path);
+  out << TraceToCsv(events);
+}
+
+bool TraceFromCsv(const std::string& csv, std::vector<TraceEvent>* events) {
+  events->clear();
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;  // Header.
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    // Split into the 8 fields.
+    std::vector<std::string> fields;
+    size_t pos = 0;
+    for (int i = 0; i < 7; ++i) {
+      size_t comma = line.find(',', pos);
+      if (comma == std::string::npos) {
+        return false;
+      }
+      fields.push_back(line.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+    fields.push_back(line.substr(pos));
+
+    TraceEvent e;
+    e.when = std::strtoull(fields[0].c_str(), nullptr, 10);
+    if (fields[1].size() != 1 || !KindFromChar(fields[1][0], &e.kind)) {
+      return false;
+    }
+    e.sub = static_cast<uint8_t>(std::atoi(fields[2].c_str()));
+    e.cpu = static_cast<int16_t>(std::atoi(fields[3].c_str()));
+    e.cpu2 = static_cast<int16_t>(std::atoi(fields[4].c_str()));
+    e.tid = std::atoi(fields[5].c_str());
+    e.value = std::strtod(fields[6].c_str(), nullptr);
+    if (e.kind == TraceEvent::Kind::kConsidered &&
+        !CpuSetFromString(fields[7], &e.considered)) {
+      return false;
+    }
+    events->push_back(e);
+  }
+  return true;
+}
+
+bool LoadTraceCsv(const std::string& path, std::vector<TraceEvent>* events) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TraceFromCsv(buffer.str(), events);
+}
+
+TraceSummary SummarizeTrace(const std::vector<TraceEvent>& events) {
+  TraceSummary summary;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kNrRunning:
+        summary.nr_running_events += 1;
+        break;
+      case TraceEvent::Kind::kLoad:
+        summary.load_events += 1;
+        break;
+      case TraceEvent::Kind::kConsidered:
+        summary.considered_events += 1;
+        break;
+      case TraceEvent::Kind::kMigration:
+        summary.migration_events += 1;
+        break;
+    }
+    if (first) {
+      summary.first = e.when;
+      first = false;
+    }
+    summary.last = e.when;
+  }
+  return summary;
+}
+
+}  // namespace wcores

@@ -1,0 +1,53 @@
+// Trace serialization (§4.2): "we also wrote a kernel module that makes it
+// possible to ... output the global array to a file. We also wrote scripts
+// that plot the results." This is that file format: a line-oriented CSV that
+// round-trips the recorder's event array, loadable by any plotting tool
+// (and by LoadTraceCsv, for offline analysis sessions).
+//
+// Format, one event per line:
+//   ns,kind,sub,cpu,cpu2,tid,value,considered
+// where kind is N/L/C/M (nr-running / load / considered / migration), sub is
+// the ConsideredKind or MigrationReason ordinal, and considered is the cpu
+// list in cpuset notation ("0-3,8") or empty.
+#ifndef SRC_TOOLS_TRACE_IO_H_
+#define SRC_TOOLS_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/tools/recorder.h"
+
+namespace wcores {
+
+// Serializes events to the CSV format above (with a header line).
+std::string TraceToCsv(const std::vector<TraceEvent>& events);
+void WriteTraceCsv(const std::string& path, const std::vector<TraceEvent>& events);
+
+// Parses the CSV format back into events. Returns false (and leaves
+// `events` in an unspecified state) on malformed input.
+bool TraceFromCsv(const std::string& csv, std::vector<TraceEvent>* events);
+bool LoadTraceCsv(const std::string& path, std::vector<TraceEvent>* events);
+
+// Summary statistics of a trace: counts per kind, span, events/second.
+struct TraceSummary {
+  uint64_t nr_running_events = 0;
+  uint64_t load_events = 0;
+  uint64_t considered_events = 0;
+  uint64_t migration_events = 0;
+  Time first = 0;
+  Time last = 0;
+
+  uint64_t Total() const {
+    return nr_running_events + load_events + considered_events + migration_events;
+  }
+  double EventsPerSecond() const {
+    return last > first ? static_cast<double>(Total()) / ToSeconds(last - first) : 0.0;
+  }
+};
+
+TraceSummary SummarizeTrace(const std::vector<TraceEvent>& events);
+
+}  // namespace wcores
+
+#endif  // SRC_TOOLS_TRACE_IO_H_

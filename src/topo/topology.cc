@@ -1,0 +1,144 @@
+#include "src/topo/topology.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace wcores {
+
+Topology::Topology(int n_nodes, int cores_per_node, int smt_width,
+                   std::vector<std::vector<int>> node_hops)
+    : n_nodes_(n_nodes),
+      cores_per_node_(cores_per_node),
+      smt_width_(smt_width),
+      n_cores_(n_nodes * cores_per_node),
+      node_hops_(std::move(node_hops)) {
+  assert(n_nodes >= 1);
+  assert(cores_per_node >= 1);
+  assert(smt_width >= 1 && cores_per_node % smt_width == 0);
+  assert(n_cores_ <= kMaxCpus);
+
+  if (node_hops_.empty()) {
+    node_hops_.assign(n_nodes_, std::vector<int>(n_nodes_, 1));
+    for (int n = 0; n < n_nodes_; ++n) {
+      node_hops_[n][n] = 0;
+    }
+  }
+  assert(static_cast<int>(node_hops_.size()) == n_nodes_);
+  for (int a = 0; a < n_nodes_; ++a) {
+    assert(static_cast<int>(node_hops_[a].size()) == n_nodes_);
+    assert(node_hops_[a][a] == 0);
+    for (int b = 0; b < n_nodes_; ++b) {
+      assert(node_hops_[a][b] == node_hops_[b][a]);
+      if (node_hops_[a][b] > max_hops_) {
+        max_hops_ = node_hops_[a][b];
+      }
+    }
+  }
+
+  node_cpus_.resize(n_nodes_);
+  for (int n = 0; n < n_nodes_; ++n) {
+    for (int c = n * cores_per_node_; c < (n + 1) * cores_per_node_; ++c) {
+      node_cpus_[n].Set(c);
+    }
+  }
+
+  smt_siblings_.resize(n_cores_);
+  for (CpuId c = 0; c < n_cores_; ++c) {
+    CpuId base = c - (c % smt_width_);
+    for (int i = 0; i < smt_width_; ++i) {
+      smt_siblings_[c].Set(base + i);
+    }
+  }
+}
+
+Topology Topology::Flat(int n_nodes, int cores_per_node, int smt_width) {
+  return Topology(n_nodes, cores_per_node, smt_width);
+}
+
+Topology Topology::Example32() {
+  // Ring: 0-1, 0-2, 1-3, 2-3; the opposite corner is two hops away.
+  std::vector<std::vector<int>> hops = {
+      {0, 1, 1, 2},
+      {1, 0, 2, 1},
+      {1, 2, 0, 1},
+      {2, 1, 1, 0},
+  };
+  Topology topo(/*n_nodes=*/4, /*cores_per_node=*/8, /*smt_width=*/2, std::move(hops));
+  HardwareSpec spec;
+  spec.cpus = "4 x 8-core (32 threads total), Figure 1's example machine";
+  spec.interconnect = "ring, max 2 hops";
+  topo.set_spec(spec);
+  return topo;
+}
+
+Topology Topology::Bulldozer8x8() {
+  // Figure 4's HyperTransport mesh. The paper pins down: Node 0's one-hop
+  // neighbours are {1,2,4,6} (its machine-level group is {0,1,2,4,6});
+  // Node 3's are {1,2,4,5,7}; Nodes 1 and 2 are two hops apart; every node
+  // is reachable from every other in at most two hops. The adjacency below
+  // satisfies all of those constraints.
+  static const int kAdj[8][8] = {
+      // 0  1  2  3  4  5  6  7
+      {0, 1, 1, 0, 1, 0, 1, 0},  // 0: 1-hop to 1,2,4,6
+      {1, 0, 0, 1, 0, 1, 0, 1},  // 1: 1-hop to 0,3,5,7
+      {1, 0, 0, 1, 1, 0, 1, 0},  // 2: 1-hop to 0,3,4,6
+      {0, 1, 1, 0, 1, 1, 0, 1},  // 3: 1-hop to 1,2,4,5,7
+      {1, 0, 1, 1, 0, 1, 0, 0},  // 4: 1-hop to 0,2,3,5
+      {0, 1, 0, 1, 1, 0, 0, 1},  // 5: 1-hop to 1,3,4,7
+      {1, 0, 1, 0, 0, 0, 0, 1},  // 6: 1-hop to 0,2,7
+      {0, 1, 0, 1, 0, 1, 1, 0},  // 7: 1-hop to 1,3,5,6
+  };
+  std::vector<std::vector<int>> hops(8, std::vector<int>(8, 2));
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) {
+        hops[a][b] = 0;
+      } else if (kAdj[a][b] != 0) {
+        hops[a][b] = 1;
+      }
+    }
+  }
+  Topology topo(/*n_nodes=*/8, /*cores_per_node=*/8, /*smt_width=*/2, std::move(hops));
+  topo.set_spec(HardwareSpec{});
+  return topo;
+}
+
+std::vector<NodeId> Topology::NodesWithin(NodeId node, int hops) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < n_nodes_; ++n) {
+    if (node_hops_[node][n] <= hops) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+CpuSet Topology::CpusWithin(NodeId node, int hops) const {
+  CpuSet set;
+  for (NodeId n : NodesWithin(node, hops)) {
+    set |= node_cpus_[n];
+  }
+  return set;
+}
+
+std::string Topology::HopMatrixToString() const {
+  std::string out = "     ";
+  char buf[32];
+  for (int b = 0; b < n_nodes_; ++b) {
+    std::snprintf(buf, sizeof(buf), "N%-3d", b);
+    out += buf;
+  }
+  out += '\n';
+  for (int a = 0; a < n_nodes_; ++a) {
+    std::snprintf(buf, sizeof(buf), "N%-3d ", a);
+    out += buf;
+    for (int b = 0; b < n_nodes_; ++b) {
+      std::snprintf(buf, sizeof(buf), "%-4d", node_hops_[a][b]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wcores

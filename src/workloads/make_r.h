@@ -1,0 +1,56 @@
+// The multi-user workload of §3.1 (Figure 2): a 64-thread kernel `make`
+// plus two single-threaded R processes, launched from three different ttys
+// and therefore living in three different autogroups.
+//
+// The autogroup load division makes one make thread ~64x lighter than one
+// R thread; the average-load group comparison then conceals the idle cores
+// on the R nodes — the Group Imbalance bug.
+#ifndef SRC_WORKLOADS_MAKE_R_H_
+#define SRC_WORKLOADS_MAKE_R_H_
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace wcores {
+
+struct MakeRConfig {
+  int make_threads = 64;
+  // Per-thread compile work; completion of the whole make is what the paper
+  // reports (-13% with the fix).
+  Time make_work_per_thread = Milliseconds(500);
+  Time make_chunk = Milliseconds(2);       // Compute between I/O waits.
+  Time make_sleep = Microseconds(250);     // I/O wait length.
+  int r_processes = 2;
+  Time r_work = Seconds(2);                // R outlives make; CPU-bound.
+  // Cores the R processes start on (paper: nodes 0 and 4). Sized >= r_processes.
+  std::vector<CpuId> r_cpus = {0, 32};
+  CpuId make_spawn_cpu = 8;                // make's tty lives on node 1.
+};
+
+class MakeRWorkload {
+ public:
+  MakeRWorkload(Simulator* sim, const MakeRConfig& config) : sim_(sim), config_(config) {}
+
+  void Setup();
+
+  // Completion of the slowest make thread (the `make` wall time).
+  Time MakeCompletionTime() const;
+  bool MakeFinished() const;
+  // Completion of each R process (should be unaffected by the fix).
+  std::vector<Time> RCompletionTimes() const;
+
+  const std::vector<ThreadId>& make_threads() const { return make_tids_; }
+  const std::vector<ThreadId>& r_threads() const { return r_tids_; }
+
+ private:
+  Simulator* sim_;
+  MakeRConfig config_;
+  std::vector<ThreadId> make_tids_;
+  std::vector<ThreadId> r_tids_;
+  Time started_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_WORKLOADS_MAKE_R_H_

@@ -1,0 +1,78 @@
+// Synthetic models of the NAS Parallel Benchmarks used in Tables 1 and 3.
+//
+// Each application is characterized by its synchronization structure and
+// granularity — what determines how badly a scheduling bug hurts it:
+//
+//   app | model                                      | why
+//   ----+--------------------------------------------+------------------------------
+//   ep  | pure compute, one final barrier            | "embarrassingly parallel"
+//   bt  | spin-barrier loop, medium grain            | block tridiagonal solver
+//   cg  | spinlock critical sections + barriers      | conjugate gradient (reductions)
+//   ft  | spin-barrier loop, medium grain            | FFT transposes
+//   is  | spin-barrier loop, coarse grain, few iters | integer sort (least parallel)
+//   lu  | fine-grain pipeline hand-off (SpinUntil)   | "lu uses a pipeline algorithm...
+//       |                                            |  threads wait for the data
+//       |                                            |  processed by other threads"
+//   mg  | spin-barrier loop, fine grain              | multigrid V-cycles
+//   sp  | spin-barrier loop, fine grain              | scalar pentadiagonal solver
+//   ua  | spin-barrier loop, very fine, irregular    | unstructured adaptive mesh
+//
+// All spin primitives burn CPU while waiting, so when a bug crowds threads
+// onto too few cores, descheduled stragglers make every peer waste entire
+// timeslices — the paper's explanation for the super-linear (up to 138x)
+// slowdowns.
+#ifndef SRC_WORKLOADS_NAS_H_
+#define SRC_WORKLOADS_NAS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace wcores {
+
+enum class NasApp { kBt, kCg, kEp, kFt, kIs, kLu, kMg, kSp, kUa };
+
+const char* NasAppName(NasApp app);
+const std::vector<NasApp>& AllNasApps();
+
+struct NasConfig {
+  NasApp app = NasApp::kLu;
+  int threads = 16;
+  // taskset: empty = unpinned (Table 3 runs unpinned with 64 threads;
+  // Table 1 pins to nodes 1 and 2).
+  CpuSet affinity;
+  // All threads are created on this core ("threads are created on the same
+  // node as their parent thread", §3.2). kInvalidCpu = first allowed.
+  CpuId spawn_cpu = kInvalidCpu;
+  // Scales iteration counts; 1.0 gives baseline runtimes of roughly half a
+  // virtual second.
+  double scale = 1.0;
+};
+
+class NasWorkload {
+ public:
+  NasWorkload(Simulator* sim, const NasConfig& config) : sim_(sim), config_(config) {}
+
+  // Spawns all threads (call once, before running the simulator).
+  void Setup();
+
+  bool Finished() const;
+  // Wall time from first spawn to last thread exit.
+  Time CompletionTime() const;
+  // Aggregate CPU time burned spinning (the waste the bugs amplify).
+  Time TotalSpinTime() const;
+  Time TotalComputeTime() const;
+
+  const std::vector<ThreadId>& threads() const { return tids_; }
+
+ private:
+  Simulator* sim_;
+  NasConfig config_;
+  std::vector<ThreadId> tids_;
+  Time started_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_WORKLOADS_NAS_H_

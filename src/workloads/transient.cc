@@ -1,0 +1,34 @@
+#include "src/workloads/transient.h"
+
+#include "src/sim/thread.h"
+
+namespace wcores {
+
+void TransientThreadGenerator::Start() { ScheduleNext(); }
+
+void TransientThreadGenerator::ScheduleNext() {
+  Time next = sim_->Now() + rng_.NextExponential(options_.mean_interval);
+  if (options_.stop_at != 0 && next > options_.stop_at) {
+    return;
+  }
+  sim_->At(next, [this] { SpawnOne(); });
+}
+
+void TransientThreadGenerator::SpawnOne() {
+  spawned_ += 1;
+  Time work = rng_.NextTime(options_.min_work, options_.max_work);
+  Simulator::SpawnParams params;
+  // Background kernel work starts wherever the triggering activity happens:
+  // a random online core.
+  CpuSet online = sim_->sched().OnlineCpus();
+  int index = static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(online.Count())));
+  CpuId cpu = online.First();
+  for (int i = 0; i < index; ++i) {
+    cpu = online.Next(cpu);
+  }
+  params.parent_cpu = cpu;
+  sim_->Spawn(std::make_unique<ScriptBehavior>(std::vector<Action>{ComputeAction{work}}), params);
+  ScheduleNext();
+}
+
+}  // namespace wcores

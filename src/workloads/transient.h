@@ -1,0 +1,46 @@
+// Transient kernel threads (§3.3): "the kernel launches tasks that last
+// less than a millisecond to perform background operations, such as logging
+// or irq handling". Landing on a core that runs a database worker, they
+// inflate its load, the balancer migrates the *database* thread away, and
+// the Overload-on-Wakeup bug keeps it pinned to the wrong node.
+#ifndef SRC_WORKLOADS_TRANSIENT_H_
+#define SRC_WORKLOADS_TRANSIENT_H_
+
+#include "src/sim/simulator.h"
+
+namespace wcores {
+
+class TransientThreadGenerator {
+ public:
+  struct Options {
+    // Mean inter-arrival time of transient threads (Poisson process).
+    Time mean_interval = Milliseconds(2);
+    // Uniform compute duration range of one transient thread.
+    Time min_work = Microseconds(200);
+    Time max_work = Microseconds(900);
+    // Stop spawning at this instant (0 = never).
+    Time stop_at = 0;
+    uint64_t seed = 7;
+  };
+
+  TransientThreadGenerator(Simulator* sim, Options options)
+      : sim_(sim), options_(options), rng_(options.seed) {}
+
+  // Schedules the first spawn; subsequent ones self-schedule.
+  void Start();
+
+  uint64_t spawned() const { return spawned_; }
+
+ private:
+  void SpawnOne();
+  void ScheduleNext();
+
+  Simulator* sim_;
+  Options options_;
+  Rng rng_;
+  uint64_t spawned_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_WORKLOADS_TRANSIENT_H_

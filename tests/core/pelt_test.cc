@@ -1,0 +1,94 @@
+#include "src/core/pelt.h"
+
+#include <gtest/gtest.h>
+
+namespace wcores {
+namespace {
+
+TEST(PeltTest, NewTrackerStartsFull) {
+  LoadTracker t;
+  EXPECT_DOUBLE_EQ(t.ValueAt(0), 1.0);
+}
+
+TEST(PeltTest, DecaysTowardZeroWhileBlocked) {
+  LoadTracker t;
+  t.SetState(0, false);
+  double v32 = t.ValueAt(Milliseconds(32));
+  EXPECT_NEAR(v32, 0.5, 1e-9);  // One half-life.
+  double v64 = t.ValueAt(Milliseconds(64));
+  EXPECT_NEAR(v64, 0.25, 1e-9);
+}
+
+TEST(PeltTest, GrowsTowardOneWhileRunnable) {
+  LoadTracker t(0.0);
+  t.SetState(0, true);
+  EXPECT_NEAR(t.ValueAt(Milliseconds(32)), 0.5, 1e-9);
+  EXPECT_NEAR(t.ValueAt(Milliseconds(320)), 1.0, 1e-3);
+}
+
+TEST(PeltTest, ValueAtIsPure) {
+  LoadTracker t;
+  t.SetState(0, false);
+  double a = t.ValueAt(Milliseconds(10));
+  double b = t.ValueAt(Milliseconds(10));
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_EQ(t.last_update(), 0u);
+}
+
+TEST(PeltTest, AdvanceCommitsDecay) {
+  LoadTracker t;
+  t.SetState(0, false);
+  t.Advance(Milliseconds(32));
+  EXPECT_EQ(t.last_update(), Milliseconds(32));
+  EXPECT_NEAR(t.ValueAt(Milliseconds(32)), 0.5, 1e-9);
+  EXPECT_NEAR(t.ValueAt(Milliseconds(64)), 0.25, 1e-9);
+}
+
+TEST(PeltTest, FiftyPercentDutyCycleConvergesToHalf) {
+  LoadTracker t(0.0);
+  Time now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t.SetState(now, true);
+    now += Milliseconds(1);
+    t.SetState(now, false);
+    now += Milliseconds(1);
+  }
+  EXPECT_NEAR(t.ValueAt(now), 0.5, 0.03);
+}
+
+TEST(PeltTest, MostlyIdleThreadHasLowLoad) {
+  // "If a thread does not use much of a CPU, its load will be decreased
+  // accordingly" (§2.2.1): 10% duty cycle -> ~0.1.
+  LoadTracker t(0.0);
+  Time now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t.SetState(now, true);
+    now += Microseconds(200);
+    t.SetState(now, false);
+    now += Microseconds(1800);
+  }
+  EXPECT_NEAR(t.ValueAt(now), 0.1, 0.03);
+}
+
+TEST(PeltTest, LongBlockedGapShortCircuitsToZero) {
+  LoadTracker t;
+  t.SetState(0, false);
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds(100)), 0.0);
+}
+
+TEST(PeltTest, TimeGoingBackwardsIsClamped) {
+  LoadTracker t;
+  t.Advance(Milliseconds(10));
+  EXPECT_DOUBLE_EQ(t.ValueAt(Milliseconds(5)), t.ValueAt(Milliseconds(10)));
+}
+
+TEST(PeltTest, StateIsVisible) {
+  LoadTracker t;
+  t.SetState(5, true);
+  EXPECT_TRUE(t.runnable());
+  t.SetState(6, false);
+  EXPECT_FALSE(t.runnable());
+}
+
+}  // namespace
+}  // namespace wcores

@@ -1,0 +1,225 @@
+#include "src/core/rbtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/simkit/rng.h"
+
+namespace wcores {
+namespace {
+
+struct Item {
+  uint64_t key = 0;
+  int id = 0;
+  RbNode node;
+};
+
+struct ItemLess {
+  bool operator()(const Item& a, const Item& b) const {
+    if (a.key != b.key) {
+      return a.key < b.key;
+    }
+    return a.id < b.id;
+  }
+};
+
+using Tree = RbTree<Item, &Item::node, ItemLess>;
+
+TEST(RbTreeTest, EmptyTree) {
+  Tree tree;
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Leftmost(), nullptr);
+  EXPECT_EQ(tree.Validate(), 0);
+}
+
+TEST(RbTreeTest, SingleInsertErase) {
+  Tree tree;
+  Item a{5, 0, {}};
+  tree.Insert(&a);
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Leftmost(), &a);
+  EXPECT_TRUE(Tree::Linked(&a));
+  EXPECT_GE(tree.Validate(), 0);
+  tree.Erase(&a);
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_FALSE(Tree::Linked(&a));
+}
+
+TEST(RbTreeTest, LeftmostIsMinimum) {
+  Tree tree;
+  std::vector<Item> items(10);
+  uint64_t keys[] = {5, 3, 8, 1, 9, 2, 7, 0, 6, 4};
+  for (int i = 0; i < 10; ++i) {
+    items[i].key = keys[i];
+    items[i].id = i;
+    tree.Insert(&items[i]);
+    EXPECT_GE(tree.Validate(), 0) << "after insert " << i;
+  }
+  EXPECT_EQ(tree.Leftmost()->key, 0u);
+  tree.Erase(tree.Leftmost());
+  EXPECT_EQ(tree.Leftmost()->key, 1u);
+}
+
+TEST(RbTreeTest, InOrderTraversalSorted) {
+  Tree tree;
+  std::vector<Item> items(50);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    items[i].key = rng.NextBelow(1000);
+    items[i].id = i;
+    tree.Insert(&items[i]);
+  }
+  uint64_t prev = 0;
+  int count = 0;
+  tree.ForEach([&](const Item* item) {
+    EXPECT_GE(item->key, prev);
+    prev = item->key;
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 50);
+}
+
+TEST(RbTreeTest, ForEachEarlyStop) {
+  Tree tree;
+  std::vector<Item> items(10);
+  for (int i = 0; i < 10; ++i) {
+    items[i].key = static_cast<uint64_t>(i);
+    items[i].id = i;
+    tree.Insert(&items[i]);
+  }
+  int visited = 0;
+  tree.ForEach([&](const Item*) {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(RbTreeTest, DuplicateKeysOrderedById) {
+  Tree tree;
+  std::vector<Item> items(5);
+  for (int i = 0; i < 5; ++i) {
+    items[i].key = 42;
+    items[i].id = i;
+    tree.Insert(&items[i]);
+  }
+  EXPECT_EQ(tree.Leftmost()->id, 0);
+  tree.Erase(&items[0]);
+  EXPECT_EQ(tree.Leftmost()->id, 1);
+  EXPECT_GE(tree.Validate(), 0);
+}
+
+TEST(RbTreeTest, EraseMiddleNodesKeepsInvariants) {
+  Tree tree;
+  std::vector<Item> items(100);
+  for (int i = 0; i < 100; ++i) {
+    items[i].key = static_cast<uint64_t>(i * 7 % 100);
+    items[i].id = i;
+    tree.Insert(&items[i]);
+  }
+  for (int i = 0; i < 100; i += 3) {
+    tree.Erase(&items[i]);
+    ASSERT_GE(tree.Validate(), 0) << "after erasing " << i;
+  }
+  EXPECT_EQ(tree.Size(), 100u - 34u);
+}
+
+TEST(RbTreeTest, ReinsertAfterErase) {
+  Tree tree;
+  Item a{1, 0, {}};
+  Item b{2, 1, {}};
+  tree.Insert(&a);
+  tree.Insert(&b);
+  tree.Erase(&a);
+  a.key = 10;
+  tree.Insert(&a);
+  EXPECT_EQ(tree.Leftmost(), &b);
+  EXPECT_EQ(tree.Size(), 2u);
+}
+
+TEST(RbTreeTest, AscendingInsertStaysBalanced) {
+  // The classic degenerate case for unbalanced BSTs.
+  Tree tree;
+  std::vector<Item> items(1024);
+  for (int i = 0; i < 1024; ++i) {
+    items[i].key = static_cast<uint64_t>(i);
+    items[i].id = i;
+    tree.Insert(&items[i]);
+  }
+  int black_height = tree.Validate();
+  ASSERT_GT(black_height, 0);
+  // Black height of a balanced RB tree with n nodes is <= log2(n+1).
+  EXPECT_LE(black_height, 11);
+}
+
+TEST(RbTreeTest, DescendingInsertStaysBalanced) {
+  Tree tree;
+  std::vector<Item> items(1024);
+  for (int i = 0; i < 1024; ++i) {
+    items[i].key = static_cast<uint64_t>(1024 - i);
+    items[i].id = i;
+    tree.Insert(&items[i]);
+  }
+  EXPECT_GT(tree.Validate(), 0);
+  EXPECT_EQ(tree.Leftmost()->key, 1u);
+}
+
+// Property test: random interleaved inserts/erases mirror a std::multiset.
+TEST(RbTreeTest, RandomizedAgainstMultiset) {
+  Tree tree;
+  constexpr int kItems = 400;
+  std::vector<Item> items(kItems);
+  std::vector<bool> in_tree(kItems, false);
+  std::multiset<uint64_t> mirror;
+  Rng rng(99);
+  for (int round = 0; round < 20000; ++round) {
+    int i = static_cast<int>(rng.NextBelow(kItems));
+    if (!in_tree[i]) {
+      items[i].key = rng.NextBelow(500);
+      items[i].id = i;
+      tree.Insert(&items[i]);
+      mirror.insert(items[i].key);
+      in_tree[i] = true;
+    } else {
+      tree.Erase(&items[i]);
+      mirror.erase(mirror.find(items[i].key));
+      in_tree[i] = false;
+    }
+    if (round % 500 == 0) {
+      ASSERT_GE(tree.Validate(), 0) << "round " << round;
+    }
+    ASSERT_EQ(tree.Size(), mirror.size());
+    if (!mirror.empty()) {
+      ASSERT_EQ(tree.Leftmost()->key, *mirror.begin());
+    } else {
+      ASSERT_EQ(tree.Leftmost(), nullptr);
+    }
+  }
+  ASSERT_GE(tree.Validate(), 0);
+}
+
+TEST(RbTreeTest, DrainInSortedOrder) {
+  Tree tree;
+  std::vector<Item> items(257);
+  Rng rng(5);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].key = rng.Next();
+    items[i].id = static_cast<int>(i);
+    tree.Insert(&items[i]);
+  }
+  uint64_t prev = 0;
+  while (!tree.Empty()) {
+    Item* min = tree.Leftmost();
+    EXPECT_GE(min->key, prev);
+    prev = min->key;
+    tree.Erase(min);
+    ASSERT_GE(tree.Validate(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace wcores

@@ -1,0 +1,92 @@
+// The stock wakeup path's wake_affine choice (§2.2.2 / §3.3): the scheduler
+// chooses between the sleeper's node and the waker's node by load, then
+// searches only that node.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/scheduler.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+namespace {
+
+class NullClient : public SchedClient {
+ public:
+  void KickCpu(CpuId) override {}
+  void NohzKick(CpuId) override {}
+};
+
+class WakeAffineTest : public ::testing::Test {
+ protected:
+  WakeAffineTest()
+      : topo_(Topology::Flat(2, 2, 1)),
+        sched_(topo_, SchedFeatures::Stock(), SchedTunables::ForCpus(4), &client_) {}
+
+  ThreadId MakeSleeperOn(CpuId cpu) {
+    ThreadParams p;
+    p.parent_cpu = cpu;
+    ThreadId tid = sched_.CreateThread(0, p);
+    sched_.PickNext(0, cpu);
+    sched_.BlockCurrent(Milliseconds(1), cpu);
+    return tid;
+  }
+
+  void RunHogOn(CpuId cpu) {
+    ThreadParams p;
+    p.parent_cpu = cpu;
+    sched_.CreateThread(Milliseconds(1), p);
+    sched_.PickNext(Milliseconds(1), cpu);
+    sched_.Tick(Milliseconds(60), cpu);  // Build up PELT load.
+  }
+
+  Topology topo_;
+  NullClient client_;
+  Scheduler sched_;
+};
+
+TEST_F(WakeAffineTest, CrossNodeWakerWinsWhenItsNodeIsIdler) {
+  ThreadId sleeper = MakeSleeperOn(0);  // Slept on node 0.
+  // Node 0 heavily loaded; node 1 (waker's node) empty except the waker.
+  RunHogOn(0);
+  RunHogOn(1);
+  CpuId cpu = sched_.Wake(Milliseconds(61), sleeper, 2);
+  EXPECT_EQ(topo_.NodeOf(cpu), 1);  // Migrated toward the idler waker node.
+}
+
+TEST_F(WakeAffineTest, SleeperNodeWinsWhenWakerNodeIsBusier) {
+  ThreadId sleeper = MakeSleeperOn(0);
+  // Waker's node (node 1) is the loaded one.
+  RunHogOn(2);
+  RunHogOn(3);
+  CpuId cpu = sched_.Wake(Milliseconds(61), sleeper, 2);
+  EXPECT_EQ(topo_.NodeOf(cpu), 0);  // Stays home.
+}
+
+TEST_F(WakeAffineTest, TieKeepsSleeperNode) {
+  ThreadId sleeper = MakeSleeperOn(1);
+  CpuId cpu = sched_.Wake(Milliseconds(2), sleeper, 2);
+  EXPECT_EQ(topo_.NodeOf(cpu), 0);  // Equal (zero) loads: prev node wins.
+}
+
+TEST_F(WakeAffineTest, SameNodeWakerNeverLeavesTheNode) {
+  // The §3.3 statement: sleeper and waker on the same node -> only that
+  // node is considered, even though the other node is fully idle.
+  ThreadId sleeper = MakeSleeperOn(0);
+  RunHogOn(0);
+  RunHogOn(1);  // Node 0 fully busy; node 1 fully idle.
+  CpuId cpu = sched_.Wake(Milliseconds(61), sleeper, 1);
+  EXPECT_EQ(topo_.NodeOf(cpu), 0);
+  EXPECT_GE(sched_.NrRunning(cpu), 2);  // The Overload-on-Wakeup signature.
+}
+
+TEST_F(WakeAffineTest, TimerWakeUsesSleeperCoreAsWaker) {
+  // Wake with waker == prev core (how the simulator delivers timer wakes):
+  // the search set is exactly the sleeper's node.
+  ThreadId sleeper = MakeSleeperOn(3);
+  CpuId cpu = sched_.Wake(Milliseconds(2), sleeper, 3);
+  EXPECT_EQ(cpu, 3);
+}
+
+}  // namespace
+}  // namespace wcores

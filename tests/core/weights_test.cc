@@ -1,0 +1,50 @@
+#include "src/core/weights.h"
+
+#include <gtest/gtest.h>
+
+namespace wcores {
+namespace {
+
+TEST(WeightsTest, Nice0IsBaseline) {
+  EXPECT_EQ(NiceToWeight(0), kNice0Weight);
+  EXPECT_EQ(NiceToWeight(0), 1024u);
+}
+
+TEST(WeightsTest, ExtremesMatchKernelTable) {
+  EXPECT_EQ(NiceToWeight(-20), 88761u);
+  EXPECT_EQ(NiceToWeight(19), 15u);
+}
+
+TEST(WeightsTest, MonotonicallyDecreasing) {
+  for (int nice = kMinNice; nice < kMaxNice; ++nice) {
+    EXPECT_GT(NiceToWeight(nice), NiceToWeight(nice + 1)) << "nice " << nice;
+  }
+}
+
+TEST(WeightsTest, EachStepIsAboutTwentyFivePercent) {
+  // "a thread gets ~10% more CPU per -1 nice step" translates to weight
+  // ratios of ~1.25 between adjacent levels.
+  for (int nice = kMinNice; nice < kMaxNice; ++nice) {
+    double ratio =
+        static_cast<double>(NiceToWeight(nice)) / static_cast<double>(NiceToWeight(nice + 1));
+    EXPECT_GT(ratio, 1.15) << "nice " << nice;
+    EXPECT_LT(ratio, 1.40) << "nice " << nice;
+  }
+}
+
+TEST(WeightsTest, InverseWeightRoundTrips) {
+  // inv_weight = 2^32 / weight within rounding.
+  for (int nice = kMinNice; nice <= kMaxNice; ++nice) {
+    double product = static_cast<double>(NiceToWeight(nice)) *
+                     static_cast<double>(NiceToInverseWeight(nice));
+    EXPECT_NEAR(product / 4294967296.0, 1.0, 0.01) << "nice " << nice;
+  }
+}
+
+TEST(WeightsTest, Nice5IsRoughlyOneThird) {
+  // 1024 / 335 ~ 3: a nice-5 thread gets about a third of a nice-0 thread.
+  EXPECT_EQ(NiceToWeight(5), 335u);
+}
+
+}  // namespace
+}  // namespace wcores

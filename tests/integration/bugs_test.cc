@@ -1,0 +1,299 @@
+// End-to-end reproduction of the four bugs of §3: each test runs the same
+// workload under the stock (buggy) scheduler and under the fixed one, and
+// checks that the bug's signature appears only in the stock run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/tools/sanity_checker.h"
+#include "src/workloads/behaviors.h"
+#include "src/workloads/make_r.h"
+#include "src/workloads/nas.h"
+#include "src/workloads/tpch.h"
+#include "src/workloads/transient.h"
+
+namespace wcores {
+namespace {
+
+// ---------------------------------------------------------------- §3.1 -----
+
+double MakeCompletionSeconds(const SchedFeatures& features) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features = features;
+  opts.seed = 11;
+  Simulator sim(topo, opts);
+  MakeRConfig config;
+  config.make_work_per_thread = Milliseconds(300);
+  config.r_work = Seconds(3);
+  MakeRWorkload wl(&sim, config);
+  wl.Setup();
+  sim.Run(Seconds(10));
+  EXPECT_TRUE(wl.MakeFinished());
+  return ToSeconds(wl.MakeCompletionTime());
+}
+
+TEST(GroupImbalanceBugTest, FixSpeedsUpMake) {
+  SchedFeatures stock;
+  SchedFeatures fixed;
+  fixed.fix_group_imbalance = true;
+  double buggy = MakeCompletionSeconds(stock);
+  double good = MakeCompletionSeconds(fixed);
+  // Paper: make completion decreased by 13% with the fix.
+  EXPECT_LT(good, buggy * 0.97) << "buggy=" << buggy << " fixed=" << good;
+}
+
+TEST(GroupImbalanceBugTest, StockLeavesCoresIdleWhileOthersOverloaded) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.seed = 12;
+  Simulator sim(topo, opts);
+  MakeRConfig config;
+  config.make_work_per_thread = Milliseconds(400);
+  config.r_work = Seconds(3);
+  MakeRWorkload wl(&sim, config);
+  wl.Setup();
+
+  // Mid-run, check the bug's signature: some core idle while some core has
+  // two or more runnable make threads it could steal.
+  int idle_with_overload = 0;
+  for (Time t = Milliseconds(60); t <= Milliseconds(300); t += Milliseconds(20)) {
+    sim.At(t, [&] {
+      bool any_idle = false;
+      bool any_overloaded = false;
+      for (CpuId c = 0; c < topo.n_cores(); ++c) {
+        int nr = sim.sched().NrRunning(c);
+        any_idle = any_idle || nr == 0;
+        any_overloaded = any_overloaded || nr >= 2;
+      }
+      if (any_idle && any_overloaded) {
+        ++idle_with_overload;
+      }
+    });
+  }
+  sim.Run(Seconds(10));
+  EXPECT_GE(idle_with_overload, 5);
+}
+
+// ---------------------------------------------------------------- §3.2 -----
+
+double PinnedNasSeconds(NasApp app, const SchedFeatures& features, double scale) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features = features;
+  opts.seed = 13;
+  Simulator sim(topo, opts);
+  NasConfig config;
+  config.app = app;
+  config.threads = 16;  // As many threads as cores on two nodes.
+  config.affinity = topo.CpusOfNode(1) | topo.CpusOfNode(2);  // numactl --cpunodebind=1,2
+  config.spawn_cpu = topo.CpusOfNode(1).First();
+  config.scale = scale;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  sim.Run(Seconds(120));
+  EXPECT_TRUE(wl.Finished()) << NasAppName(app);
+  return ToSeconds(wl.CompletionTime());
+}
+
+TEST(GroupConstructionBugTest, PinnedLuIsManyTimesSlower) {
+  SchedFeatures stock;
+  SchedFeatures fixed;
+  fixed.fix_group_construction = true;
+  double buggy = PinnedNasSeconds(NasApp::kLu, stock, 0.2);
+  double good = PinnedNasSeconds(NasApp::kLu, fixed, 0.2);
+  // Paper Table 1: lu speeds up 27x. The shape requirement: a large
+  // super-linear factor (>4x), far above the 2x CPU-share bound.
+  EXPECT_GT(buggy / good, 4.0) << "buggy=" << buggy << " fixed=" << good;
+}
+
+TEST(GroupConstructionBugTest, PinnedEpSpeedsUpAboutTwoTimes) {
+  SchedFeatures stock;
+  SchedFeatures fixed;
+  fixed.fix_group_construction = true;
+  double buggy = PinnedNasSeconds(NasApp::kEp, stock, 0.5);
+  double good = PinnedNasSeconds(NasApp::kEp, fixed, 0.5);
+  // ep is embarrassingly parallel: the impact is the pure 2x CPU-share loss.
+  EXPECT_GT(buggy / good, 1.5);
+  EXPECT_LT(buggy / good, 3.0);
+}
+
+TEST(GroupConstructionBugTest, StockKeepsThreadsOnOneNode) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.seed = 14;
+  Simulator sim(topo, opts);
+  NasConfig config;
+  config.app = NasApp::kEp;
+  config.threads = 16;
+  config.affinity = topo.CpusOfNode(1) | topo.CpusOfNode(2);
+  config.spawn_cpu = topo.CpusOfNode(1).First();
+  config.scale = 0.5;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  int node2_busy_samples = 0;
+  for (Time t = Milliseconds(100); t <= Milliseconds(500); t += Milliseconds(50)) {
+    sim.At(t, [&] {
+      for (CpuId c : topo.CpusOfNode(2)) {
+        if (sim.sched().NrRunning(c) > 0) {
+          ++node2_busy_samples;
+          return;
+        }
+      }
+    });
+  }
+  sim.Run(Seconds(60));
+  // "the pinned application runs only on one node, no matter how many
+  // threads it has": node 2 never sees work.
+  EXPECT_EQ(node2_busy_samples, 0);
+}
+
+// ---------------------------------------------------------------- §3.3 -----
+
+double TpchQ18Seconds(const SchedFeatures& features) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features = features;
+  opts.features.autogroup_enabled = false;  // As in the paper's Figure 3 runs.
+  opts.seed = 15;
+  Simulator sim(topo, opts);
+  TpchConfig config;
+  config.queries = {TpchQuery18(/*scale=*/4.0)};
+  TpchWorkload wl(&sim, config);
+  wl.Setup();
+  TransientThreadGenerator::Options topts;
+  topts.mean_interval = Milliseconds(2);
+  TransientThreadGenerator transients(&sim, topts);
+  transients.Start();
+  sim.Run(Seconds(30));
+  EXPECT_TRUE(wl.Finished());
+  return ToSeconds(wl.TotalTime());
+}
+
+TEST(OverloadOnWakeupBugTest, FixSpeedsUpTpchQ18) {
+  SchedFeatures stock;
+  SchedFeatures fixed;
+  fixed.fix_overload_wakeup = true;
+  double buggy = TpchQ18Seconds(stock);
+  double good = TpchQ18Seconds(fixed);
+  // Paper Table 2: -22.2% on Q18. Shape: a measurable speedup.
+  EXPECT_LT(good, buggy * 0.98) << "buggy=" << buggy << " fixed=" << good;
+}
+
+TEST(OverloadOnWakeupBugTest, StockWakesOnBusyCoresDespiteIdle) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.autogroup_enabled = false;
+  opts.seed = 16;
+  Simulator sim(topo, opts);
+  TpchConfig config;
+  config.queries = {TpchQuery18(/*scale=*/2.0)};
+  TpchWorkload wl(&sim, config);
+  wl.Setup();
+  TransientThreadGenerator::Options topts;
+  TransientThreadGenerator transients(&sim, topts);
+  transients.Start();
+  sim.Run(Seconds(30));
+  const SchedStats& stats = sim.sched().stats();
+  // Workers wake on busy cores a significant fraction of the time even
+  // though the machine is never fully loaded (64 workers + transients on
+  // 64 cores, with many sleepers at any instant).
+  EXPECT_GT(stats.wakeups_on_busy, stats.wakeups / 50);
+}
+
+// ---------------------------------------------------------------- §3.4 -----
+
+double HotplugNasSeconds(NasApp app, const SchedFeatures& features, double scale) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features = features;
+  opts.seed = 17;
+  Simulator sim(topo, opts);
+  // Disable and re-enable a core before launching (the /proc interface).
+  sim.SetCpuOnline(3, false);
+  sim.SetCpuOnline(3, true);
+  NasConfig config;
+  config.app = app;
+  config.threads = 64;
+  config.spawn_cpu = 0;  // All threads fork from the same root process.
+  config.scale = scale;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  sim.Run(Seconds(600));
+  EXPECT_TRUE(wl.Finished()) << NasAppName(app);
+  return ToSeconds(wl.CompletionTime());
+}
+
+TEST(MissingDomainsBugTest, HotplugConfinesLuToOneNode) {
+  SchedFeatures stock;
+  SchedFeatures fixed;
+  fixed.fix_missing_domains = true;
+  double buggy = HotplugNasSeconds(NasApp::kLu, stock, 0.1);
+  double good = HotplugNasSeconds(NasApp::kLu, fixed, 0.1);
+  // Paper Table 3: lu runs 138x faster without the bug. Shape: a large
+  // super-linear factor, well above the 8x CPU-share bound.
+  EXPECT_GT(buggy / good, 8.0) << "buggy=" << buggy << " fixed=" << good;
+}
+
+TEST(MissingDomainsBugTest, ThreadsStayOnSpawnNode) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.seed = 18;
+  Simulator sim(topo, opts);
+  sim.SetCpuOnline(3, false);
+  sim.SetCpuOnline(3, true);
+  NasConfig config;
+  config.app = NasApp::kEp;
+  config.threads = 16;
+  config.spawn_cpu = 8;  // Node 1.
+  config.scale = 0.3;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  int off_node_samples = 0;
+  for (Time t = Milliseconds(100); t <= Milliseconds(400); t += Milliseconds(50)) {
+    sim.At(t, [&] {
+      for (CpuId c = 0; c < topo.n_cores(); ++c) {
+        if (topo.NodeOf(c) != 1 && sim.sched().NrRunning(c) > 0) {
+          ++off_node_samples;
+          return;
+        }
+      }
+    });
+  }
+  sim.Run(Seconds(60));
+  EXPECT_EQ(off_node_samples, 0);
+}
+
+TEST(MissingDomainsBugTest, FixRestoresCrossNodeBalancing) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.fix_missing_domains = true;
+  opts.seed = 19;
+  Simulator sim(topo, opts);
+  sim.SetCpuOnline(3, false);
+  sim.SetCpuOnline(3, true);
+  NasConfig config;
+  config.app = NasApp::kEp;
+  config.threads = 16;
+  config.spawn_cpu = 8;
+  config.scale = 0.3;
+  NasWorkload wl(&sim, config);
+  wl.Setup();
+  int off_node_samples = 0;
+  for (Time t = Milliseconds(100); t <= Milliseconds(400); t += Milliseconds(50)) {
+    sim.At(t, [&] {
+      for (CpuId c = 0; c < topo.n_cores(); ++c) {
+        if (topo.NodeOf(c) != 1 && sim.sched().NrRunning(c) > 0) {
+          ++off_node_samples;
+          return;
+        }
+      }
+    });
+  }
+  sim.Run(Seconds(60));
+  EXPECT_GT(off_node_samples, 0);
+}
+
+}  // namespace
+}  // namespace wcores

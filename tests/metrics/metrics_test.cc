@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/metrics/accounting.h"
+#include "src/metrics/histogram.h"
+
+namespace wcores {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+TEST(SummaryTest, MeanMinMax) {
+  Summary s;
+  for (double v : {3.0, 1.0, 2.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 6.0);
+}
+
+TEST(SummaryTest, QuantilesInterpolate) {
+  Summary s;
+  for (int i = 0; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_NEAR(s.Quantile(0.95), 95.0, 0.01);
+}
+
+TEST(SummaryTest, QuantileAfterAddResorts) {
+  Summary s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 10.0);
+  s.Add(0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+}
+
+TEST(SummaryTest, StddevOfConstantIsZero) {
+  Summary s;
+  s.Add(5.0);
+  s.Add(5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+TEST(SummaryTest, StddevSimpleCase) {
+  Summary s;
+  s.Add(2.0);
+  s.Add(4.0);
+  // Sample stddev of {2,4}: sqrt(((2-3)^2+(4-3)^2)/1) = sqrt(2).
+  EXPECT_NEAR(s.Stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CpuAccountingTest, BusyAccumulatesPerCore) {
+  CpuAccounting acct(4);
+  acct.AddBusy(0, Milliseconds(10));
+  acct.AddBusy(0, Milliseconds(5));
+  acct.AddBusy(2, Milliseconds(20));
+  EXPECT_EQ(acct.Busy(0), Milliseconds(15));
+  EXPECT_EQ(acct.Busy(1), 0u);
+  EXPECT_EQ(acct.TotalBusy(), Milliseconds(35));
+}
+
+TEST(CpuAccountingTest, UtilizationFractions) {
+  CpuAccounting acct(2);
+  acct.AddBusy(0, Milliseconds(50));
+  EXPECT_DOUBLE_EQ(acct.Utilization(0, Milliseconds(100)), 0.5);
+  EXPECT_DOUBLE_EQ(acct.Utilization(1, Milliseconds(100)), 0.0);
+  EXPECT_DOUBLE_EQ(acct.MachineUtilization(Milliseconds(100)), 0.25);
+}
+
+TEST(CpuAccountingTest, ZeroElapsedIsSafe) {
+  CpuAccounting acct(1);
+  EXPECT_DOUBLE_EQ(acct.Utilization(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(acct.MachineUtilization(0), 0.0);
+}
+
+}  // namespace
+}  // namespace wcores

@@ -1,0 +1,184 @@
+// The modular scheduler of §5: optimization modules suggest placements, the
+// core enforces the work-conserving invariant.
+#include "src/modsched/modules.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/tools/sanity_checker.h"
+#include "src/topo/topology.h"
+#include "src/workloads/tpch.h"
+#include "src/workloads/transient.h"
+
+namespace wcores {
+namespace {
+
+class NullClient : public SchedClient {
+ public:
+  void KickCpu(CpuId) override {}
+  void NohzKick(CpuId) override {}
+};
+
+TEST(ModularSchedTest, SuggestionHonoredWhenTargetIdle) {
+  Topology topo = Topology::Flat(2, 2, 1);
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(4), &client);
+  CacheAffinityModule cache;
+  sched.set_wake_policy(&cache);
+  ThreadParams p;
+  p.parent_cpu = 3;
+  ThreadId tid = sched.CreateThread(0, p);
+  sched.PickNext(0, 3);
+  sched.BlockCurrent(Milliseconds(1), 3);
+  // Waker on another node; the module wants the (idle) previous core.
+  CpuId cpu = sched.Wake(Milliseconds(2), tid, 0);
+  EXPECT_EQ(cpu, 3);
+  EXPECT_EQ(sched.stats().wake_policy_suggestions, 1u);
+  EXPECT_EQ(sched.stats().wake_policy_vetoes, 0u);
+}
+
+TEST(ModularSchedTest, CoreVetoesBusySuggestionWhenIdleCoreExists) {
+  Topology topo = Topology::Flat(2, 2, 1);
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(4), &client);
+  CacheAffinityModule cache;
+  sched.set_wake_policy(&cache);
+  ThreadParams p;
+  p.parent_cpu = 0;
+  ThreadId tid = sched.CreateThread(0, p);
+  sched.PickNext(0, 0);
+  sched.BlockCurrent(Milliseconds(1), 0);
+  // Occupy the previous core; cores 1-3 idle. The module suggests busy
+  // core 0; the invariant-preserving core must override.
+  ThreadParams q;
+  q.parent_cpu = 0;
+  sched.CreateThread(Milliseconds(1), q);
+  sched.PickNext(Milliseconds(1), 0);
+  CpuId cpu = sched.Wake(Milliseconds(2), tid, 0);
+  EXPECT_NE(cpu, 0);
+  EXPECT_TRUE(sched.IsIdleCpu(0) || sched.NrRunning(cpu) >= 1);
+  EXPECT_EQ(sched.stats().wake_policy_vetoes, 1u);
+}
+
+TEST(ModularSchedTest, SuggestionTakenWhenNoIdleCoreExists) {
+  Topology topo = Topology::Flat(1, 2, 1);
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(2), &client);
+  CacheAffinityModule cache;
+  sched.set_wake_policy(&cache);
+  ThreadParams p;
+  p.parent_cpu = 0;
+  ThreadId tid = sched.CreateThread(0, p);
+  sched.PickNext(0, 0);
+  sched.BlockCurrent(Milliseconds(1), 0);
+  // Fill both cores.
+  for (CpuId c = 0; c < 2; ++c) {
+    ThreadParams q;
+    q.parent_cpu = c;
+    sched.CreateThread(Milliseconds(1), q);
+    sched.PickNext(Milliseconds(1), c);
+  }
+  CpuId cpu = sched.Wake(Milliseconds(2), tid, 1);
+  EXPECT_EQ(cpu, 0);  // Busy, but nothing idle: cache reuse wins.
+  EXPECT_EQ(sched.stats().wake_policy_suggestions, 1u);
+}
+
+TEST(ModularSchedTest, AbstainingModuleFallsThroughToStockPath) {
+  Topology topo = Topology::Flat(1, 2, 1);
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(2), &client);
+  class Abstainer : public WakePolicy {
+   public:
+    CpuId Suggest(const WakeContext&) override { return kInvalidCpu; }
+    const char* name() const override { return "abstain"; }
+  } abstainer;
+  sched.set_wake_policy(&abstainer);
+  ThreadParams p;
+  p.parent_cpu = 0;
+  ThreadId tid = sched.CreateThread(0, p);
+  sched.PickNext(0, 0);
+  sched.BlockCurrent(Milliseconds(1), 0);
+  CpuId cpu = sched.Wake(Milliseconds(2), tid, 0);
+  EXPECT_EQ(cpu, 0);  // Stock path: previous core, idle.
+  EXPECT_EQ(sched.stats().wake_policy_suggestions, 0u);
+}
+
+TEST(ModularSchedTest, ChainUsesPriorityOrder) {
+  Topology topo = Topology::Flat(2, 2, 1);
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(4), &client);
+  CacheAffinityModule cache;
+  LoadSpreadModule spread;
+  ModuleChain chain;
+  chain.Add(&cache);
+  chain.Add(&spread);
+  sched.set_wake_policy(&chain);
+  // A never-ran... all threads have a prev cpu once created; exercise the
+  // chain: the cache module suggests first.
+  ThreadParams p;
+  p.parent_cpu = 2;
+  ThreadId tid = sched.CreateThread(0, p);
+  sched.PickNext(0, 2);
+  sched.BlockCurrent(Milliseconds(1), 2);
+  CpuId cpu = sched.Wake(Milliseconds(2), tid, 0);
+  EXPECT_EQ(cpu, 2);
+  EXPECT_STREQ(chain.last_winner(), "cache-affinity");
+}
+
+TEST(ModularSchedTest, NumaLocalityPrefersIdleCoreOfOwnNode) {
+  Topology topo = Topology::Flat(2, 2, 1);
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(4), &client);
+  NumaLocalityModule numa;
+  sched.set_wake_policy(&numa);
+  ThreadParams p;
+  p.parent_cpu = 2;  // Node 1.
+  ThreadId tid = sched.CreateThread(0, p);
+  sched.PickNext(0, 2);
+  sched.BlockCurrent(Milliseconds(1), 2);
+  // Occupy core 2; core 3 (same node) idle.
+  ThreadParams q;
+  q.parent_cpu = 2;
+  sched.CreateThread(Milliseconds(1), q);
+  sched.PickNext(Milliseconds(1), 2);
+  CpuId cpu = sched.Wake(Milliseconds(2), tid, 2);
+  EXPECT_EQ(cpu, 3);
+}
+
+// The §5 demonstration: an aggressively cache-greedy module under the
+// invariant-enforcing core does NOT reintroduce the Overload-on-Wakeup
+// pathology on the database workload.
+TEST(ModularSchedTest, GreedyCacheModuleCannotReintroduceOverloadOnWakeup) {
+  auto run = [](bool modular) {
+    Topology topo = Topology::Bulldozer8x8();
+    Simulator::Options opts;
+    opts.features.autogroup_enabled = false;
+    opts.seed = 404;
+    Simulator sim(topo, opts);
+    CacheAffinityModule cache;
+    if (modular) {
+      sim.sched().set_wake_policy(&cache);
+    }
+    TpchConfig config;
+    config.queries = {TpchQuery18(2.0)};
+    TpchWorkload db(&sim, config);
+    db.Setup();
+    TransientThreadGenerator::Options topts;
+    TransientThreadGenerator transients(&sim, topts);
+    transients.Start();
+    sim.Run(Seconds(30));
+    EXPECT_TRUE(db.Finished());
+    return ToSeconds(db.TotalTime());
+  };
+  double stock = run(false);    // Overload-on-Wakeup bug active.
+  double modular = run(true);   // Greedy module + invariant-enforcing core.
+  // The modular configuration must not be slower than the buggy stock
+  // scheduler: the core's veto turns the greedy module into (at worst) the
+  // paper's wakeup fix.
+  EXPECT_LT(modular, stock * 1.02) << "stock=" << stock << " modular=" << modular;
+}
+
+}  // namespace
+}  // namespace wcores

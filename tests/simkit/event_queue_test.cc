@@ -1,0 +1,118 @@
+#include "src/simkit/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wcores {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5, [&] { order.push_back(1); });
+  q.ScheduleAt(5, [&] { order.push_back(2); });
+  q.ScheduleAt(5, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow) {
+  EventQueue q;
+  Time seen = kTimeNever;
+  q.ScheduleAt(100, [&] { q.ScheduleAfter(50, [&] { seen = q.now(); }); });
+  q.RunAll();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(h.Pending());
+  h.Cancel();
+  EXPECT_FALSE(h.Pending());
+  q.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, HandleNotPendingAfterFire) {
+  EventQueue q;
+  EventHandle h = q.ScheduleAt(10, [] {});
+  q.RunAll();
+  EXPECT_FALSE(h.Pending());
+  h.Cancel();  // Safe no-op.
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<Time> fired;
+  for (Time t = 10; t <= 100; t += 10) {
+    q.ScheduleAt(t, [&, t] { fired.push_back(t); });
+  }
+  uint64_t n = q.RunUntil(50);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(q.now(), 50u);
+  EXPECT_FALSE(q.Empty());
+  q.RunAll();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int depth = 0;
+  q.ScheduleAt(1, [&] {
+    ++depth;
+    q.ScheduleAfter(1, [&] {
+      ++depth;
+      q.ScheduleAfter(1, [&] { ++depth; });
+    });
+  });
+  q.RunAll();
+  EXPECT_EQ(depth, 3);
+  EXPECT_EQ(q.now(), 3u);
+}
+
+TEST(EventQueueTest, EmptyAndLiveCountTrackCancellation) {
+  EventQueue q;
+  EventHandle a = q.ScheduleAt(5, [] {});
+  EventHandle b = q.ScheduleAt(6, [] {});
+  EXPECT_EQ(q.LiveCount(), 2u);
+  a.Cancel();
+  EXPECT_EQ(q.LiveCount(), 1u);
+  EXPECT_FALSE(q.Empty());
+  b.Cancel();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueueTest, ExecutedCountAccumulates) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) {
+    q.ScheduleAt(i + 1, [] {});
+  }
+  q.RunAll();
+  EXPECT_EQ(q.executed_count(), 7u);
+}
+
+TEST(EventQueueTest, RunOneReturnsFalsePastUntil) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  EXPECT_FALSE(q.RunOne(50));
+  EXPECT_EQ(q.now(), 50u);  // Clock advances to the boundary.
+  EXPECT_TRUE(q.RunOne(200));
+}
+
+}  // namespace
+}  // namespace wcores

@@ -1,0 +1,33 @@
+#include "src/simkit/time.h"
+
+#include <gtest/gtest.h>
+
+namespace wcores {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Microseconds(1), 1000u);
+  EXPECT_EQ(Milliseconds(1), 1000u * 1000u);
+  EXPECT_EQ(Seconds(1), 1000u * 1000u * 1000u);
+  EXPECT_EQ(Seconds(2) + Milliseconds(500), Milliseconds(2500));
+}
+
+TEST(TimeTest, ToFloatingConversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Microseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Nanoseconds(2500)), 2.5);
+}
+
+TEST(TimeTest, FormatPicksUnit) {
+  EXPECT_EQ(FormatTime(Nanoseconds(900)), "900ns");
+  EXPECT_EQ(FormatTime(Microseconds(12)), "12.000us");
+  EXPECT_EQ(FormatTime(Milliseconds(350)), "350.000ms");
+  EXPECT_EQ(FormatTime(Seconds(1) + Milliseconds(204)), "1.204s");
+}
+
+TEST(TimeTest, NeverIsHuge) {
+  EXPECT_GT(kTimeNever, Seconds(1000000));
+}
+
+}  // namespace
+}  // namespace wcores

@@ -1,0 +1,192 @@
+#include "src/tools/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/tools/heatmap.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+namespace {
+
+TEST(RecorderTest, RecordsNrRunningChanges) {
+  EventRecorder recorder;
+  recorder.OnNrRunning(Milliseconds(1), 3, 2);
+  recorder.OnLoad(Milliseconds(2), 3, 123.5);
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events()[0].kind, TraceEvent::Kind::kNrRunning);
+  EXPECT_EQ(recorder.events()[0].cpu, 3);
+  EXPECT_DOUBLE_EQ(recorder.events()[0].value, 2.0);
+  EXPECT_EQ(recorder.events()[1].kind, TraceEvent::Kind::kLoad);
+}
+
+TEST(RecorderTest, CapacityBoundsMemoryLikeThePapersStaticArray) {
+  EventRecorder recorder(/*capacity=*/10);
+  for (int i = 0; i < 25; ++i) {
+    recorder.OnNrRunning(i, 0, i);
+  }
+  EXPECT_EQ(recorder.events().size(), 10u);
+  EXPECT_EQ(recorder.dropped(), 15u);
+}
+
+TEST(RecorderTest, DisableStopsRecording) {
+  EventRecorder recorder;
+  recorder.set_enabled(false);
+  recorder.OnNrRunning(0, 0, 1);
+  EXPECT_TRUE(recorder.events().empty());
+  recorder.set_enabled(true);
+  recorder.OnNrRunning(0, 0, 1);
+  EXPECT_EQ(recorder.events().size(), 1u);
+}
+
+TEST(RecorderTest, CountKind) {
+  EventRecorder recorder;
+  recorder.OnNrRunning(0, 0, 1);
+  recorder.OnNrRunning(1, 0, 2);
+  recorder.OnMigration(2, 7, 0, 1, MigrationReason::kIdleBalance);
+  EXPECT_EQ(recorder.CountKind(TraceEvent::Kind::kNrRunning), 2u);
+  EXPECT_EQ(recorder.CountKind(TraceEvent::Kind::kMigration), 1u);
+}
+
+TEST(RecorderTest, MultiSinkFansOut) {
+  EventRecorder a;
+  EventRecorder b;
+  MultiSink multi;
+  multi.Add(&a);
+  multi.Add(&b);
+  multi.OnNrRunning(0, 1, 1);
+  multi.OnConsidered(1, 0, CpuSet::FirstN(4), ConsideredKind::kWakeup);
+  EXPECT_EQ(a.events().size(), 2u);
+  EXPECT_EQ(b.events().size(), 2u);
+}
+
+TEST(RecorderTest, SchedulerEmitsEventsEndToEnd) {
+  Topology topo = Topology::Flat(1, 2, 1);
+  EventRecorder recorder;
+  Simulator::Options opts;
+  Simulator sim(topo, opts, &recorder);
+  sim.Spawn(std::make_unique<ScriptBehavior>(std::vector<Action>{
+      ComputeAction{Milliseconds(5)}, SleepAction{Milliseconds(5)},
+      ComputeAction{Milliseconds(5)}}));
+  sim.RunUntilAllExited(Seconds(1));
+  EXPECT_GT(recorder.CountKind(TraceEvent::Kind::kNrRunning), 0u);
+  EXPECT_GT(recorder.CountKind(TraceEvent::Kind::kLoad), 0u);
+  EXPECT_GT(recorder.CountKind(TraceEvent::Kind::kConsidered), 0u);
+}
+
+// ---- Heatmap rendering -----------------------------------------------------------
+
+TEST(HeatmapTest, TimeWeightedAverages) {
+  std::vector<TraceEvent> events;
+  // cpu 0 at 2 threads for the first half of [0, 100ms), 0 after.
+  events.push_back(
+      TraceEvent{0, TraceEvent::Kind::kNrRunning, 0, 0, -1, -1, 2.0, CpuSet{}});
+  events.push_back(TraceEvent{Milliseconds(50), TraceEvent::Kind::kNrRunning, 0, 0, -1, -1, 0.0,
+                              CpuSet{}});
+  Heatmap map = BuildHeatmap(events, TraceEvent::Kind::kNrRunning, 2, 0, Milliseconds(100), 4);
+  EXPECT_DOUBLE_EQ(map.At(0, 0), 2.0);  // [0, 25ms): constant 2.
+  EXPECT_DOUBLE_EQ(map.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(map.At(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(map.At(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(map.At(1, 0), 0.0);  // cpu 1 never reported.
+}
+
+TEST(HeatmapTest, PartialBinIsWeighted) {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      TraceEvent{0, TraceEvent::Kind::kNrRunning, 0, 0, -1, -1, 4.0, CpuSet{}});
+  events.push_back(TraceEvent{Milliseconds(25), TraceEvent::Kind::kNrRunning, 0, 0, -1, -1, 0.0,
+                              CpuSet{}});
+  // One bin covering [0, 100ms): average = 4 * 0.25 = 1.
+  Heatmap map = BuildHeatmap(events, TraceEvent::Kind::kNrRunning, 1, 0, Milliseconds(100), 1);
+  EXPECT_NEAR(map.At(0, 0), 1.0, 1e-9);
+}
+
+TEST(HeatmapTest, CsvHasHeaderAndRows) {
+  Heatmap map;
+  map.n_cpus = 2;
+  map.n_bins = 3;
+  map.t1 = Milliseconds(3);
+  map.cells = {1, 2, 3, 4, 5, 6};
+  std::string csv = HeatmapToCsv(map);
+  EXPECT_NE(csv.find("core,"), std::string::npos);
+  EXPECT_NE(csv.find("\n0,"), std::string::npos);
+  EXPECT_NE(csv.find("\n1,"), std::string::npos);
+}
+
+TEST(HeatmapTest, AsciiUsesDarknessScale) {
+  Heatmap map;
+  map.n_cpus = 1;
+  map.n_bins = 3;
+  map.t1 = Milliseconds(3);
+  map.cells = {0.0, 1.0, 2.0};
+  std::string art = HeatmapToAscii(map);
+  EXPECT_NE(art.find(' '), std::string::npos);  // Zero renders blank.
+  EXPECT_NE(art.find('@'), std::string::npos);  // Max renders darkest.
+}
+
+TEST(HeatmapTest, AsciiNodeSeparators) {
+  Heatmap map;
+  map.n_cpus = 4;
+  map.n_bins = 3;
+  map.t1 = 3;
+  map.cells = std::vector<double>(12, 1.0);
+  std::string art = HeatmapToAscii(map, /*cores_per_node=*/2);
+  EXPECT_NE(art.find("---"), std::string::npos);  // One separator, 3 bins wide.
+}
+
+TEST(HeatmapTest, PgmFormat) {
+  Heatmap map;
+  map.n_cpus = 2;
+  map.n_bins = 2;
+  map.t1 = 1;
+  map.cells = {0, 1, 2, 3};
+  std::string pgm = HeatmapToPgm(map);
+  EXPECT_EQ(pgm.substr(0, 3), "P2\n");
+  EXPECT_NE(pgm.find("255"), std::string::npos);
+}
+
+TEST(HeatmapTest, ConsideredCsvFiltersInitiator) {
+  std::vector<TraceEvent> events;
+  CpuSet set03 = CpuSet::FirstN(4);
+  events.push_back(TraceEvent{Milliseconds(1), TraceEvent::Kind::kConsidered,
+                              static_cast<uint8_t>(ConsideredKind::kPeriodicBalance), 0, -1, -1,
+                              0, set03});
+  events.push_back(TraceEvent{Milliseconds(2), TraceEvent::Kind::kConsidered,
+                              static_cast<uint8_t>(ConsideredKind::kPeriodicBalance), 5, -1, -1,
+                              0, set03});
+  std::string csv = ConsideredToCsv(events, 0);
+  EXPECT_NE(csv.find("1.000,periodic,0-3"), std::string::npos);
+  EXPECT_EQ(csv.find("2.000"), std::string::npos);  // Other initiator excluded.
+}
+
+TEST(HeatmapTest, ConsideredUnionIgnoresWakeups) {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{0, TraceEvent::Kind::kConsidered,
+                              static_cast<uint8_t>(ConsideredKind::kPeriodicBalance), 0, -1, -1,
+                              0, CpuSet::FirstN(2)});
+  events.push_back(TraceEvent{1, TraceEvent::Kind::kConsidered,
+                              static_cast<uint8_t>(ConsideredKind::kWakeup), 0, -1, -1, 0,
+                              CpuSet::FirstN(8)});
+  CpuSet all = ConsideredUnion(events, 0);
+  EXPECT_EQ(all.Count(), 2);
+}
+
+TEST(HeatmapTest, ConsideredAsciiMarksColumns) {
+  std::vector<TraceEvent> events;
+  CpuSet pair;
+  pair.Set(0);
+  pair.Set(1);
+  events.push_back(TraceEvent{0, TraceEvent::Kind::kConsidered,
+                              static_cast<uint8_t>(ConsideredKind::kIdleBalance), 0, -1, -1, 0,
+                              pair});
+  std::string art = ConsideredToAscii(events, 0, 3, 10);
+  // cpus 0 and 1 marked, cpu 2 not.
+  EXPECT_NE(art.find("0 ||"), std::string::npos);
+  EXPECT_NE(art.find("1 ||"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcores

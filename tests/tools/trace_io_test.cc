@@ -1,0 +1,116 @@
+#include "src/tools/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+namespace {
+
+std::vector<TraceEvent> SampleEvents() {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{Milliseconds(1), TraceEvent::Kind::kNrRunning, 0, 3, -1, -1, 2.0,
+                              CpuSet{}});
+  events.push_back(TraceEvent{Milliseconds(2), TraceEvent::Kind::kLoad, 0, 3, -1, -1, 123.456,
+                              CpuSet{}});
+  CpuSet considered;
+  considered.Set(0);
+  considered.Set(1);
+  considered.Set(5);
+  events.push_back(TraceEvent{Milliseconds(3), TraceEvent::Kind::kConsidered,
+                              static_cast<uint8_t>(ConsideredKind::kNohzBalance), 0, -1, -1, 0,
+                              considered});
+  events.push_back(TraceEvent{Milliseconds(4), TraceEvent::Kind::kMigration,
+                              static_cast<uint8_t>(MigrationReason::kIdleBalance), 2, 7, 42, 0,
+                              CpuSet{}});
+  return events;
+}
+
+TEST(TraceIoTest, CsvHasHeaderAndOneLinePerEvent) {
+  std::string csv = TraceToCsv(SampleEvents());
+  EXPECT_EQ(csv.substr(0, 3), "ns,");
+  int lines = 0;
+  for (char c : csv) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, 5);  // Header + 4 events.
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  std::vector<TraceEvent> original = SampleEvents();
+  std::vector<TraceEvent> loaded;
+  ASSERT_TRUE(TraceFromCsv(TraceToCsv(original), &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].when, original[i].when) << i;
+    EXPECT_EQ(loaded[i].kind, original[i].kind) << i;
+    EXPECT_EQ(loaded[i].sub, original[i].sub) << i;
+    EXPECT_EQ(loaded[i].cpu, original[i].cpu) << i;
+    EXPECT_EQ(loaded[i].cpu2, original[i].cpu2) << i;
+    EXPECT_EQ(loaded[i].tid, original[i].tid) << i;
+    EXPECT_DOUBLE_EQ(loaded[i].value, original[i].value) << i;
+    EXPECT_EQ(loaded[i].considered, original[i].considered) << i;
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  std::vector<TraceEvent> events;
+  EXPECT_FALSE(TraceFromCsv("ns,kind\n1,Z,0,0,0,0,0,\n", &events));
+  EXPECT_FALSE(TraceFromCsv("header\nnot,enough,fields\n", &events));
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  std::vector<TraceEvent> events;
+  ASSERT_TRUE(TraceFromCsv(TraceToCsv({}), &events));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  WriteTraceCsv(path, SampleEvents());
+  std::vector<TraceEvent> loaded;
+  ASSERT_TRUE(LoadTraceCsv(path, &loaded));
+  EXPECT_EQ(loaded.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, LoadMissingFileFails) {
+  std::vector<TraceEvent> events;
+  EXPECT_FALSE(LoadTraceCsv("/nonexistent/trace.csv", &events));
+}
+
+TEST(TraceIoTest, SummaryCountsAndRate) {
+  TraceSummary summary = SummarizeTrace(SampleEvents());
+  EXPECT_EQ(summary.nr_running_events, 1u);
+  EXPECT_EQ(summary.load_events, 1u);
+  EXPECT_EQ(summary.considered_events, 1u);
+  EXPECT_EQ(summary.migration_events, 1u);
+  EXPECT_EQ(summary.Total(), 4u);
+  EXPECT_EQ(summary.first, Milliseconds(1));
+  EXPECT_EQ(summary.last, Milliseconds(4));
+  // 4 events over 3ms.
+  EXPECT_NEAR(summary.EventsPerSecond(), 4.0 / 0.003, 1.0);
+}
+
+TEST(TraceIoTest, EndToEndSimulationTraceRoundTrips) {
+  Topology topo = Topology::Flat(1, 2, 1);
+  EventRecorder recorder;
+  Simulator::Options opts;
+  Simulator sim(topo, opts, &recorder);
+  sim.Spawn(std::make_unique<ScriptBehavior>(std::vector<Action>{
+      ComputeAction{Milliseconds(3)}, SleepAction{Milliseconds(1)},
+      ComputeAction{Milliseconds(3)}}));
+  sim.RunUntilAllExited(Seconds(1));
+  ASSERT_FALSE(recorder.events().empty());
+  std::vector<TraceEvent> loaded;
+  ASSERT_TRUE(TraceFromCsv(TraceToCsv(recorder.events()), &loaded));
+  EXPECT_EQ(loaded.size(), recorder.events().size());
+  EXPECT_EQ(SummarizeTrace(loaded).Total(), SummarizeTrace(recorder.events()).Total());
+}
+
+}  // namespace
+}  // namespace wcores
