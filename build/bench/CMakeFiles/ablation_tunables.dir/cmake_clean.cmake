@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tunables.dir/ablation_tunables.cc.o"
+  "CMakeFiles/ablation_tunables.dir/ablation_tunables.cc.o.d"
+  "ablation_tunables"
+  "ablation_tunables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tunables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_detection.dir/checker_detection.cc.o"
+  "CMakeFiles/checker_detection.dir/checker_detection.cc.o.d"
+  "checker_detection"
+  "checker_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

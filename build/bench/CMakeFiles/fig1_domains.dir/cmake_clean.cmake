@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_domains.dir/fig1_domains.cc.o"
+  "CMakeFiles/fig1_domains.dir/fig1_domains.cc.o.d"
+  "fig1_domains"
+  "fig1_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_group_imbalance.dir/fig2_group_imbalance.cc.o"
+  "CMakeFiles/fig2_group_imbalance.dir/fig2_group_imbalance.cc.o.d"
+  "fig2_group_imbalance"
+  "fig2_group_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_group_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

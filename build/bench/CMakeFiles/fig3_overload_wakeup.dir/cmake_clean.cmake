@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_overload_wakeup.dir/fig3_overload_wakeup.cc.o"
+  "CMakeFiles/fig3_overload_wakeup.dir/fig3_overload_wakeup.cc.o.d"
+  "fig3_overload_wakeup"
+  "fig3_overload_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_overload_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_missing_domains.dir/fig5_missing_domains.cc.o"
+  "CMakeFiles/fig5_missing_domains.dir/fig5_missing_domains.cc.o.d"
+  "fig5_missing_domains"
+  "fig5_missing_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_missing_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

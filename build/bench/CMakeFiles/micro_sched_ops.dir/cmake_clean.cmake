@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sched_ops.dir/micro_sched_ops.cc.o"
+  "CMakeFiles/micro_sched_ops.dir/micro_sched_ops.cc.o.d"
+  "micro_sched_ops"
+  "micro_sched_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sched_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

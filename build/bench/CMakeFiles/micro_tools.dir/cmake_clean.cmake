@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tools.dir/micro_tools.cc.o"
+  "CMakeFiles/micro_tools.dir/micro_tools.cc.o.d"
+  "micro_tools"
+  "micro_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_group_construction.dir/table1_group_construction.cc.o"
+  "CMakeFiles/table1_group_construction.dir/table1_group_construction.cc.o.d"
+  "table1_group_construction"
+  "table1_group_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_group_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

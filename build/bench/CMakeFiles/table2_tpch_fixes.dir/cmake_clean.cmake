@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tpch_fixes.dir/table2_tpch_fixes.cc.o"
+  "CMakeFiles/table2_tpch_fixes.dir/table2_tpch_fixes.cc.o.d"
+  "table2_tpch_fixes"
+  "table2_tpch_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tpch_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

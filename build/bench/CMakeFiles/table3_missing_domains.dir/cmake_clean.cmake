@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_missing_domains.dir/table3_missing_domains.cc.o"
+  "CMakeFiles/table3_missing_domains.dir/table3_missing_domains.cc.o.d"
+  "table3_missing_domains"
+  "table3_missing_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_missing_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

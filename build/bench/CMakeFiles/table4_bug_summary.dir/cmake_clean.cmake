@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bug_summary.dir/table4_bug_summary.cc.o"
+  "CMakeFiles/table4_bug_summary.dir/table4_bug_summary.cc.o.d"
+  "table4_bug_summary"
+  "table4_bug_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bug_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_tpch.dir/database_tpch.cpp.o"
+  "CMakeFiles/database_tpch.dir/database_tpch.cpp.o.d"
+  "database_tpch"
+  "database_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

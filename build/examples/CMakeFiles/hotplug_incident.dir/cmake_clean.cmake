@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotplug_incident.dir/hotplug_incident.cpp.o"
+  "CMakeFiles/hotplug_incident.dir/hotplug_incident.cpp.o.d"
+  "hotplug_incident"
+  "hotplug_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotplug_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hotplug_incident.
+# This may be replaced when dependencies are built.

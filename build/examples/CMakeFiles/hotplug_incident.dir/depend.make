@@ -1,0 +1,2 @@
+# Empty dependencies file for hotplug_incident.
+# This may be replaced when dependencies are built.

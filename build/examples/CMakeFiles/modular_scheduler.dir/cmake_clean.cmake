@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_scheduler.dir/modular_scheduler.cpp.o"
+  "CMakeFiles/modular_scheduler.dir/modular_scheduler.cpp.o.d"
+  "modular_scheduler"
+  "modular_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

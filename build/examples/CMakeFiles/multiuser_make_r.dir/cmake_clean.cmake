@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_make_r.dir/multiuser_make_r.cpp.o"
+  "CMakeFiles/multiuser_make_r.dir/multiuser_make_r.cpp.o.d"
+  "multiuser_make_r"
+  "multiuser_make_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_make_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiuser_make_r.
+# This may be replaced when dependencies are built.

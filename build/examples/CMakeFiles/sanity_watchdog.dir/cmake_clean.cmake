@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sanity_watchdog.dir/sanity_watchdog.cpp.o"
+  "CMakeFiles/sanity_watchdog.dir/sanity_watchdog.cpp.o.d"
+  "sanity_watchdog"
+  "sanity_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sanity_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

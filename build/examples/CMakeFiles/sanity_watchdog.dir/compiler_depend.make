@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sanity_watchdog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_lab.dir/scheduler_lab.cpp.o"
+  "CMakeFiles/scheduler_lab.dir/scheduler_lab.cpp.o.d"
+  "scheduler_lab"
+  "scheduler_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

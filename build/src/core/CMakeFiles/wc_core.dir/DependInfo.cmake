@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cfs_rq.cc" "src/core/CMakeFiles/wc_core.dir/cfs_rq.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/cfs_rq.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/wc_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/features.cc.o.d"
+  "/root/repo/src/core/pelt.cc" "src/core/CMakeFiles/wc_core.dir/pelt.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/pelt.cc.o.d"
+  "/root/repo/src/core/rbtree.cc" "src/core/CMakeFiles/wc_core.dir/rbtree.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/rbtree.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/wc_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/scheduler_balance.cc" "src/core/CMakeFiles/wc_core.dir/scheduler_balance.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/scheduler_balance.cc.o.d"
+  "/root/repo/src/core/scheduler_wakeup.cc" "src/core/CMakeFiles/wc_core.dir/scheduler_wakeup.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/scheduler_wakeup.cc.o.d"
+  "/root/repo/src/core/weights.cc" "src/core/CMakeFiles/wc_core.dir/weights.cc.o" "gcc" "src/core/CMakeFiles/wc_core.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/wc_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wc_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_core.dir/cfs_rq.cc.o"
+  "CMakeFiles/wc_core.dir/cfs_rq.cc.o.d"
+  "CMakeFiles/wc_core.dir/features.cc.o"
+  "CMakeFiles/wc_core.dir/features.cc.o.d"
+  "CMakeFiles/wc_core.dir/pelt.cc.o"
+  "CMakeFiles/wc_core.dir/pelt.cc.o.d"
+  "CMakeFiles/wc_core.dir/rbtree.cc.o"
+  "CMakeFiles/wc_core.dir/rbtree.cc.o.d"
+  "CMakeFiles/wc_core.dir/scheduler.cc.o"
+  "CMakeFiles/wc_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/wc_core.dir/scheduler_balance.cc.o"
+  "CMakeFiles/wc_core.dir/scheduler_balance.cc.o.d"
+  "CMakeFiles/wc_core.dir/scheduler_wakeup.cc.o"
+  "CMakeFiles/wc_core.dir/scheduler_wakeup.cc.o.d"
+  "CMakeFiles/wc_core.dir/weights.cc.o"
+  "CMakeFiles/wc_core.dir/weights.cc.o.d"
+  "libwc_core.a"
+  "libwc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/wc_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/wc_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/wc_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wc_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

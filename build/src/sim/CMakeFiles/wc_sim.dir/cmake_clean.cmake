@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_sim.dir/simulator.cc.o"
+  "CMakeFiles/wc_sim.dir/simulator.cc.o.d"
+  "libwc_sim.a"
+  "libwc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

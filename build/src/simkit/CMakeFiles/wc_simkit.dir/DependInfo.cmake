@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkit/cpuset.cc" "src/simkit/CMakeFiles/wc_simkit.dir/cpuset.cc.o" "gcc" "src/simkit/CMakeFiles/wc_simkit.dir/cpuset.cc.o.d"
+  "/root/repo/src/simkit/event_queue.cc" "src/simkit/CMakeFiles/wc_simkit.dir/event_queue.cc.o" "gcc" "src/simkit/CMakeFiles/wc_simkit.dir/event_queue.cc.o.d"
+  "/root/repo/src/simkit/log.cc" "src/simkit/CMakeFiles/wc_simkit.dir/log.cc.o" "gcc" "src/simkit/CMakeFiles/wc_simkit.dir/log.cc.o.d"
+  "/root/repo/src/simkit/rng.cc" "src/simkit/CMakeFiles/wc_simkit.dir/rng.cc.o" "gcc" "src/simkit/CMakeFiles/wc_simkit.dir/rng.cc.o.d"
+  "/root/repo/src/simkit/time.cc" "src/simkit/CMakeFiles/wc_simkit.dir/time.cc.o" "gcc" "src/simkit/CMakeFiles/wc_simkit.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

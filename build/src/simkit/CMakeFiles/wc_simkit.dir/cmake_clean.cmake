@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_simkit.dir/cpuset.cc.o"
+  "CMakeFiles/wc_simkit.dir/cpuset.cc.o.d"
+  "CMakeFiles/wc_simkit.dir/event_queue.cc.o"
+  "CMakeFiles/wc_simkit.dir/event_queue.cc.o.d"
+  "CMakeFiles/wc_simkit.dir/log.cc.o"
+  "CMakeFiles/wc_simkit.dir/log.cc.o.d"
+  "CMakeFiles/wc_simkit.dir/rng.cc.o"
+  "CMakeFiles/wc_simkit.dir/rng.cc.o.d"
+  "CMakeFiles/wc_simkit.dir/time.cc.o"
+  "CMakeFiles/wc_simkit.dir/time.cc.o.d"
+  "libwc_simkit.a"
+  "libwc_simkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/heatmap.cc" "src/tools/CMakeFiles/wc_tools.dir/heatmap.cc.o" "gcc" "src/tools/CMakeFiles/wc_tools.dir/heatmap.cc.o.d"
+  "/root/repo/src/tools/profiler.cc" "src/tools/CMakeFiles/wc_tools.dir/profiler.cc.o" "gcc" "src/tools/CMakeFiles/wc_tools.dir/profiler.cc.o.d"
+  "/root/repo/src/tools/recorder.cc" "src/tools/CMakeFiles/wc_tools.dir/recorder.cc.o" "gcc" "src/tools/CMakeFiles/wc_tools.dir/recorder.cc.o.d"
+  "/root/repo/src/tools/sanity_checker.cc" "src/tools/CMakeFiles/wc_tools.dir/sanity_checker.cc.o" "gcc" "src/tools/CMakeFiles/wc_tools.dir/sanity_checker.cc.o.d"
+  "/root/repo/src/tools/trace_io.cc" "src/tools/CMakeFiles/wc_tools.dir/trace_io.cc.o" "gcc" "src/tools/CMakeFiles/wc_tools.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/wc_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wc_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

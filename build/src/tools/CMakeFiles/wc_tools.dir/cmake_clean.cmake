@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_tools.dir/heatmap.cc.o"
+  "CMakeFiles/wc_tools.dir/heatmap.cc.o.d"
+  "CMakeFiles/wc_tools.dir/profiler.cc.o"
+  "CMakeFiles/wc_tools.dir/profiler.cc.o.d"
+  "CMakeFiles/wc_tools.dir/recorder.cc.o"
+  "CMakeFiles/wc_tools.dir/recorder.cc.o.d"
+  "CMakeFiles/wc_tools.dir/sanity_checker.cc.o"
+  "CMakeFiles/wc_tools.dir/sanity_checker.cc.o.d"
+  "CMakeFiles/wc_tools.dir/trace_io.cc.o"
+  "CMakeFiles/wc_tools.dir/trace_io.cc.o.d"
+  "libwc_tools.a"
+  "libwc_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

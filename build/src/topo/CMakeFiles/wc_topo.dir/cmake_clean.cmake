@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_topo.dir/domains.cc.o"
+  "CMakeFiles/wc_topo.dir/domains.cc.o.d"
+  "CMakeFiles/wc_topo.dir/topology.cc.o"
+  "CMakeFiles/wc_topo.dir/topology.cc.o.d"
+  "libwc_topo.a"
+  "libwc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

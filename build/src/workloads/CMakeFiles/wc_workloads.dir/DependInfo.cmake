@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/make_r.cc" "src/workloads/CMakeFiles/wc_workloads.dir/make_r.cc.o" "gcc" "src/workloads/CMakeFiles/wc_workloads.dir/make_r.cc.o.d"
+  "/root/repo/src/workloads/nas.cc" "src/workloads/CMakeFiles/wc_workloads.dir/nas.cc.o" "gcc" "src/workloads/CMakeFiles/wc_workloads.dir/nas.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/workloads/CMakeFiles/wc_workloads.dir/tpch.cc.o" "gcc" "src/workloads/CMakeFiles/wc_workloads.dir/tpch.cc.o.d"
+  "/root/repo/src/workloads/transient.cc" "src/workloads/CMakeFiles/wc_workloads.dir/transient.cc.o" "gcc" "src/workloads/CMakeFiles/wc_workloads.dir/transient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/wc_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

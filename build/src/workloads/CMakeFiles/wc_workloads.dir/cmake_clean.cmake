@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_workloads.dir/make_r.cc.o"
+  "CMakeFiles/wc_workloads.dir/make_r.cc.o.d"
+  "CMakeFiles/wc_workloads.dir/nas.cc.o"
+  "CMakeFiles/wc_workloads.dir/nas.cc.o.d"
+  "CMakeFiles/wc_workloads.dir/tpch.cc.o"
+  "CMakeFiles/wc_workloads.dir/tpch.cc.o.d"
+  "CMakeFiles/wc_workloads.dir/transient.cc.o"
+  "CMakeFiles/wc_workloads.dir/transient.cc.o.d"
+  "libwc_workloads.a"
+  "libwc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

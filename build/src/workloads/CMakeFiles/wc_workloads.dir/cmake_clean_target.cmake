@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwc_workloads.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/balance_test.cc" "tests/CMakeFiles/core_test.dir/core/balance_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/balance_test.cc.o.d"
+  "/root/repo/tests/core/cfs_rq_test.cc" "tests/CMakeFiles/core_test.dir/core/cfs_rq_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cfs_rq_test.cc.o.d"
+  "/root/repo/tests/core/pelt_test.cc" "tests/CMakeFiles/core_test.dir/core/pelt_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pelt_test.cc.o.d"
+  "/root/repo/tests/core/rbtree_test.cc" "tests/CMakeFiles/core_test.dir/core/rbtree_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rbtree_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_test.cc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cc.o.d"
+  "/root/repo/tests/core/wakeup_test.cc" "tests/CMakeFiles/core_test.dir/core/wakeup_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/wakeup_test.cc.o.d"
+  "/root/repo/tests/core/weights_test.cc" "tests/CMakeFiles/core_test.dir/core/weights_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/weights_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/wc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/wc_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/wc_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/balance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/balance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cfs_rq_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cfs_rq_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pelt_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pelt_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rbtree_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rbtree_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/wakeup_test.cc.o"
+  "CMakeFiles/core_test.dir/core/wakeup_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/weights_test.cc.o"
+  "CMakeFiles/core_test.dir/core/weights_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modsched_test.dir/modsched/modular_test.cc.o"
+  "CMakeFiles/modsched_test.dir/modsched/modular_test.cc.o.d"
+  "modsched_test"
+  "modsched_test.pdb"
+  "modsched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modsched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

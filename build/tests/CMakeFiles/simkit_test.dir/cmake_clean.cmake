@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkit_test.dir/simkit/cpuset_test.cc.o"
+  "CMakeFiles/simkit_test.dir/simkit/cpuset_test.cc.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/event_queue_test.cc.o"
+  "CMakeFiles/simkit_test.dir/simkit/event_queue_test.cc.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/rng_test.cc.o"
+  "CMakeFiles/simkit_test.dir/simkit/rng_test.cc.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/time_test.cc.o"
+  "CMakeFiles/simkit_test.dir/simkit/time_test.cc.o.d"
+  "simkit_test"
+  "simkit_test.pdb"
+  "simkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_test.dir/topo/domains_test.cc.o"
+  "CMakeFiles/topo_test.dir/topo/domains_test.cc.o.d"
+  "CMakeFiles/topo_test.dir/topo/topology_test.cc.o"
+  "CMakeFiles/topo_test.dir/topo/topology_test.cc.o.d"
+  "topo_test"
+  "topo_test.pdb"
+  "topo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

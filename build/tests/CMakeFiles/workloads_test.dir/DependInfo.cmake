@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/workloads_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/workloads_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/wc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/wc_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/wc_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
