@@ -74,8 +74,10 @@ void Print(const char* label, double v) {
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
+  (void)opts;
   PrintHeader("Ablations: the design decisions behind the reproduction",
               "DESIGN.md items 7 (busy factor), 10 (barrier policy), and switch cost");
 

@@ -3,14 +3,52 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
 namespace wcores {
 
-// Results land next to the binary in bench_results/ for inspection.
-inline void WriteFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path);
+// Flags shared by every reproduction binary.
+struct BenchOptions {
+  std::string out_dir = "out";  // CSV/PGM artifacts land here.
+  std::string telemetry_dir;    // Empty = telemetry reports disabled.
+};
+
+// Parses the shared flags: --out=DIR, --telemetry[=DIR] (bare --telemetry
+// defaults to <out_dir>/telemetry). Unknown flags abort with usage, so the
+// binaries stay runnable with no arguments, as CI expects.
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions opts;
+  bool telemetry = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      opts.out_dir = arg.substr(6);
+    } else if (arg == "--telemetry") {
+      telemetry = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opts.telemetry_dir = arg.substr(12);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\nusage: %s [--out=DIR] [--telemetry[=DIR]]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  if (telemetry && opts.telemetry_dir.empty()) {
+    opts.telemetry_dir = opts.out_dir + "/telemetry";
+  }
+  return opts;
+}
+
+// Writes `name` into opts.out_dir, creating the directory on demand, so
+// artifacts never litter the working directory itself.
+inline void WriteFile(const BenchOptions& opts, const std::string& name,
+                      const std::string& contents) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts.out_dir, ec);
+  std::ofstream out(std::filesystem::path(opts.out_dir) / name);
   out << contents;
 }
 

@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tools/sanity_checker.h"
 #include "src/topo/topology.h"
 
@@ -26,11 +27,16 @@ namespace {
 // to its 8 cores (2 per core) until the burst's work drains — while the
 // other 56 cores idle. Returns true if the checker confirmed at least one
 // violation.
-bool DetectedOnce(Time episode, Time period, Time total, uint64_t seed) {
+bool DetectedOnce(Time episode, Time period, Time total, uint64_t seed,
+                  std::string* example_report) {
   Topology topo = Topology::Bulldozer8x8();
+  // A small telemetry session rides along so confirmed violations carry a
+  // machine-wide latency digest (the recorder stays tiny; only the latency
+  // accountant matters here).
+  TelemetrySession telemetry(topo.n_cores(), /*recorder_capacity=*/1 << 12);
   Simulator::Options opts;
   opts.seed = seed;
-  Simulator sim(topo, opts);
+  Simulator sim(topo, opts, telemetry.sink());
   sim.SetCpuOnline(3, false);  // Arm the bug.
   sim.SetCpuOnline(3, true);
 
@@ -55,16 +61,22 @@ bool DetectedOnce(Time episode, Time period, Time total, uint64_t seed) {
   SanityChecker::Options copts;
   copts.check_interval = Seconds(1);             // S, the paper's default.
   copts.confirmation_window = Milliseconds(100);  // M.
+  copts.latency_snapshot = [&telemetry] { return telemetry.LatencySnapshot(); };
   SanityChecker checker(&sim, copts);
   checker.Start();
   sim.Run(total);
+  if (example_report != nullptr && example_report->empty() && !checker.violations().empty()) {
+    *example_report = SanityChecker::Report(checker.violations().front());
+  }
   return !checker.violations().empty();
 }
 
-double DetectionProbability(Time episode, Time period, Time total, int runs) {
+double DetectionProbability(Time episode, Time period, Time total, int runs,
+                            std::string* example_report) {
   int hits = 0;
   for (int r = 0; r < runs; ++r) {
-    if (DetectedOnce(episode, period, total, 1000 + 31 * static_cast<uint64_t>(r))) {
+    if (DetectedOnce(episode, period, total, 1000 + 31 * static_cast<uint64_t>(r),
+                     example_report)) {
       ++hits;
     }
   }
@@ -74,8 +86,9 @@ double DetectionProbability(Time episode, Time period, Time total, int runs) {
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
   PrintHeader("Sanity-checker detection probability vs violation duty cycle",
               "EuroSys'16 §4.1 — S = 1s, M = 100ms, intermittent violations");
 
@@ -96,8 +109,9 @@ int main() {
       {Milliseconds(400), Seconds(4), Seconds(40)},
       {Milliseconds(400), Seconds(4), Seconds(160)},
   };
+  std::string example_report;
   for (const Row& row : kRows) {
-    double p = DetectionProbability(row.episode, row.period, row.total, kRuns);
+    double p = DetectionProbability(row.episode, row.period, row.total, kRuns, &example_report);
     char label[64];
     std::snprintf(label, sizeof(label), "%.0fms / %.0fs", ToMilliseconds(row.episode),
                   ToSeconds(row.period));
@@ -109,9 +123,12 @@ int main() {
                   ToSeconds(row.total), p);
     csv += line;
   }
-  WriteFile("checker_detection.csv", csv);
+  WriteFile(opts, "checker_detection.csv", csv);
   std::printf("\nShape checks: longer episodes and longer runtimes raise detection\n"
               "probability toward 1, as §4.1 argues; sub-M episodes are (correctly) missed.\n"
-              "CSV: checker_detection.csv\n");
+              "CSV: %s/checker_detection.csv\n", opts.out_dir.c_str());
+  if (!example_report.empty()) {
+    std::printf("\nexample confirmed violation (with latency digest):\n%s", example_report.c_str());
+  }
   return 0;
 }

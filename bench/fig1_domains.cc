@@ -11,8 +11,10 @@
 #include "src/topo/domains.h"
 #include "src/topo/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
+  (void)opts;
   Topology topo = Topology::Bulldozer8x8();
 
   PrintHeader("Figure 1 / Figure 4 / Table 5: machine topology and scheduling domains",

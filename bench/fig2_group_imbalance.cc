@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tools/heatmap.h"
 #include "src/tools/recorder.h"
 #include "src/topo/topology.h"
@@ -26,13 +27,13 @@ struct RunOutput {
   Heatmap load;
 };
 
-RunOutput RunMakeR(bool fixed) {
+RunOutput RunMakeR(bool fixed, const BenchOptions& bench_opts) {
   Topology topo = Topology::Bulldozer8x8();
-  EventRecorder recorder;
+  TelemetrySession telemetry(topo.n_cores());
   Simulator::Options opts;
   opts.features.fix_group_imbalance = fixed;
   opts.seed = 3001;
-  Simulator sim(topo, opts, &recorder);
+  Simulator sim(topo, opts, telemetry.sink());
   MakeRConfig config;
   config.make_work_per_thread = Milliseconds(400);
   config.r_work = Seconds(3);
@@ -49,23 +50,30 @@ RunOutput RunMakeR(bool fixed) {
     out.r_s.push_back(ToSeconds(t));
   }
   Time window = wl.MakeCompletionTime();
-  out.nr = BuildHeatmap(recorder.events(), TraceEvent::Kind::kNrRunning, topo.n_cores(), 0,
-                        window, 110);
-  out.load = BuildHeatmap(recorder.events(), TraceEvent::Kind::kLoad, topo.n_cores(), 0, window,
-                          110);
+  const std::vector<TraceEvent>& events = telemetry.recorder().events();
+  out.nr = BuildHeatmap(events, TraceEvent::Kind::kNrRunning, topo.n_cores(), 0, window, 110);
+  out.load = BuildHeatmap(events, TraceEvent::Kind::kLoad, topo.n_cores(), 0, window, 110);
+  if (!bench_opts.telemetry_dir.empty()) {
+    std::string error;
+    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(),
+                                fixed ? "fig2_fixed_" : "fig2_stock_", &error)) {
+      std::fprintf(stderr, "telemetry: %s\n", error.c_str());
+    }
+  }
   return out;
 }
 
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
   PrintHeader("Figure 2: the Group Imbalance bug (make x64 + 2 R processes)",
               "EuroSys'16 Figure 2a/2b/2c; paper: make completes 13% faster with the fix");
 
-  RunOutput buggy = RunMakeR(/*fixed=*/false);
-  RunOutput fixed = RunMakeR(/*fixed=*/true);
+  RunOutput buggy = RunMakeR(/*fixed=*/false, opts);
+  RunOutput fixed = RunMakeR(/*fixed=*/true, opts);
 
   std::printf("(a) runqueue sizes over time, stock scheduler (rows: cores, node separators):\n");
   std::printf("%s\n", HeatmapToAscii(buggy.nr, 8, 3.0).c_str());
@@ -74,11 +82,11 @@ int main() {
   std::printf("(c) runqueue sizes over time, Group Imbalance fix applied:\n");
   std::printf("%s\n", HeatmapToAscii(fixed.nr, 8, 3.0).c_str());
 
-  WriteFile("fig2a_rq_sizes_stock.csv", HeatmapToCsv(buggy.nr));
-  WriteFile("fig2b_rq_loads_stock.csv", HeatmapToCsv(buggy.load));
-  WriteFile("fig2c_rq_sizes_fixed.csv", HeatmapToCsv(fixed.nr));
-  WriteFile("fig2a_rq_sizes_stock.pgm", HeatmapToPgm(buggy.nr, 3.0));
-  WriteFile("fig2c_rq_sizes_fixed.pgm", HeatmapToPgm(fixed.nr, 3.0));
+  WriteFile(opts, "fig2a_rq_sizes_stock.csv", HeatmapToCsv(buggy.nr));
+  WriteFile(opts, "fig2b_rq_loads_stock.csv", HeatmapToCsv(buggy.load));
+  WriteFile(opts, "fig2c_rq_sizes_fixed.csv", HeatmapToCsv(fixed.nr));
+  WriteFile(opts, "fig2a_rq_sizes_stock.pgm", HeatmapToPgm(buggy.nr, 3.0));
+  WriteFile(opts, "fig2c_rq_sizes_fixed.pgm", HeatmapToPgm(fixed.nr, 3.0));
 
   double delta = (fixed.make_s - buggy.make_s) / buggy.make_s * 100.0;
   std::printf("make completion: stock %.3fs, fixed %.3fs (%+.1f%%; paper: -13%%)\n", buggy.make_s,
@@ -87,6 +95,9 @@ int main() {
     std::printf("R process %zu completion: stock %.3fs, fixed %.3fs (should be ~unchanged)\n", r,
                 buggy.r_s[r], fixed.r_s[r]);
   }
-  std::printf("CSV/PGM files written (fig2a/b/c).\n");
+  std::printf("CSV/PGM files written to %s/ (fig2a/b/c).\n", opts.out_dir.c_str());
+  if (!opts.telemetry_dir.empty()) {
+    std::printf("telemetry reports written to %s/\n", opts.telemetry_dir.c_str());
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tools/heatmap.h"
 #include "src/tools/recorder.h"
 #include "src/topo/topology.h"
@@ -28,14 +29,14 @@ struct RunOutput {
   Heatmap nr;
 };
 
-RunOutput RunDb(bool fixed) {
+RunOutput RunDb(bool fixed, const BenchOptions& bench_opts) {
   Topology topo = Topology::Bulldozer8x8();
-  EventRecorder recorder;
+  TelemetrySession telemetry(topo.n_cores());
   Simulator::Options opts;
   opts.features.fix_overload_wakeup = fixed;
   opts.features.autogroup_enabled = false;  // As in the paper's Figure 3 runs.
   opts.seed = 3003;
-  Simulator sim(topo, opts, &recorder);
+  Simulator sim(topo, opts, telemetry.sink());
 
   TpchConfig config;
   config.queries = {TpchQuery18(/*scale=*/6.0)};
@@ -72,8 +73,15 @@ RunOutput RunDb(bool fixed) {
   out.violation_s = ToSeconds(violated_samples * step);
   out.wakeups = sim.sched().stats().wakeups;
   out.wakeups_on_busy = sim.sched().stats().wakeups_on_busy;
-  out.nr = BuildHeatmap(recorder.events(), TraceEvent::Kind::kNrRunning, topo.n_cores(), 0,
-                        wl.TotalTime(), 110);
+  out.nr = BuildHeatmap(telemetry.recorder().events(), TraceEvent::Kind::kNrRunning,
+                        topo.n_cores(), 0, wl.TotalTime(), 110);
+  if (!bench_opts.telemetry_dir.empty()) {
+    std::string error;
+    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(),
+                                fixed ? "fig3_fixed_" : "fig3_stock_", &error)) {
+      std::fprintf(stderr, "telemetry: %s\n", error.c_str());
+    }
+  }
   (void)samples;
   return out;
 }
@@ -81,23 +89,24 @@ RunOutput RunDb(bool fixed) {
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
   PrintHeader("Figure 3: the Overload-on-Wakeup bug (TPC-H Q18 + transient threads)",
               "EuroSys'16 Figure 3; threads wake on busy cores of their node while other "
               "cores sit idle");
 
-  RunOutput buggy = RunDb(/*fixed=*/false);
-  RunOutput fixed = RunDb(/*fixed=*/true);
+  RunOutput buggy = RunDb(/*fixed=*/false, opts);
+  RunOutput fixed = RunDb(/*fixed=*/true, opts);
 
   std::printf("runqueue sizes over time, stock scheduler:\n%s\n",
               HeatmapToAscii(buggy.nr, 8, 2.0).c_str());
   std::printf("runqueue sizes over time, wakeup fix applied:\n%s\n",
               HeatmapToAscii(fixed.nr, 8, 2.0).c_str());
 
-  WriteFile("fig3_rq_sizes_stock.csv", HeatmapToCsv(buggy.nr));
-  WriteFile("fig3_rq_sizes_fixed.csv", HeatmapToCsv(fixed.nr));
-  WriteFile("fig3_rq_sizes_stock.pgm", HeatmapToPgm(buggy.nr, 2.0));
+  WriteFile(opts, "fig3_rq_sizes_stock.csv", HeatmapToCsv(buggy.nr));
+  WriteFile(opts, "fig3_rq_sizes_fixed.csv", HeatmapToCsv(fixed.nr));
+  WriteFile(opts, "fig3_rq_sizes_stock.pgm", HeatmapToPgm(buggy.nr, 2.0));
 
   std::printf("Q18 completion:            stock %.3fs, fixed %.3fs (%+.1f%%; paper: -22.2%%)\n",
               buggy.total_s, fixed.total_s,
@@ -109,6 +118,6 @@ int main() {
               static_cast<unsigned long long>(buggy.wakeups),
               static_cast<unsigned long long>(fixed.wakeups_on_busy),
               static_cast<unsigned long long>(fixed.wakeups));
-  std::printf("CSV/PGM files written (fig3_*).\n");
+  std::printf("CSV/PGM files written to %s/ (fig3_*).\n", opts.out_dir.c_str());
   return 0;
 }

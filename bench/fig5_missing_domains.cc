@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tools/heatmap.h"
 #include "src/tools/profiler.h"
 #include "src/tools/recorder.h"
@@ -26,13 +27,14 @@ struct RunOutput {
   double completion_s = 0;
 };
 
-RunOutput Run(bool fixed) {
+RunOutput Run(bool fixed, const BenchOptions& bench_opts) {
   Topology topo = Topology::Bulldozer8x8();
-  EventRecorder recorder;
+  TelemetrySession telemetry(topo.n_cores());
+  EventRecorder& recorder = telemetry.recorder();
   Simulator::Options opts;
   opts.features.fix_missing_domains = fixed;
   opts.seed = 3005;
-  Simulator sim(topo, opts, &recorder);
+  Simulator sim(topo, opts, telemetry.sink());
 
   sim.SetCpuOnline(3, false);
   sim.SetCpuOnline(3, true);
@@ -64,20 +66,28 @@ RunOutput Run(bool fixed) {
     }
   }
   out.completion_s = ToSeconds(wl.CompletionTime());
+  if (!bench_opts.telemetry_dir.empty()) {
+    std::string error;
+    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(),
+                                fixed ? "fig5_fixed_" : "fig5_stock_", &error)) {
+      std::fprintf(stderr, "telemetry: %s\n", error.c_str());
+    }
+  }
   return out;
 }
 
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
   PrintHeader("Figure 5: the Missing Scheduling Domains bug (Core 0's balancing view)",
               "EuroSys'16 Figure 5 — cores considered by Core 0 after hotplug, 16-thread app "
               "on Node 1");
 
-  RunOutput buggy = Run(/*fixed=*/false);
-  RunOutput fixed = Run(/*fixed=*/true);
+  RunOutput buggy = Run(/*fixed=*/false, opts);
+  RunOutput fixed = Run(/*fixed=*/true, opts);
 
   std::printf("stock: cores Core 0 examined across %llu balancing calls: %s\n",
               static_cast<unsigned long long>(buggy.balance_calls),
@@ -92,8 +102,8 @@ int main() {
 
   std::printf("app completion: stock %.3fs, fixed %.3fs\n", buggy.completion_s,
               fixed.completion_s);
-  WriteFile("fig5_considered_stock.csv", buggy.csv);
-  WriteFile("fig5_considered_fixed.csv", fixed.csv);
-  std::printf("CSV files written (fig5_considered_*).\n");
+  WriteFile(opts, "fig5_considered_stock.csv", buggy.csv);
+  WriteFile(opts, "fig5_considered_fixed.csv", fixed.csv);
+  std::printf("CSV files written to %s/ (fig5_considered_*).\n", opts.out_dir.c_str());
   return 0;
 }

@@ -56,8 +56,9 @@ constexpr PaperRow kPaperRows[] = {
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
   PrintHeader("Table 1: NAS with the Scheduling Group Construction bug",
               "EuroSys'16 Table 1 — apps pinned on nodes 1,2 (numactl --cpunodebind=1,2)");
   std::printf("%-5s %14s %14s %9s | %14s %14s %9s\n", "app", "w/ bug (s)", "w/o bug (s)",
@@ -76,7 +77,7 @@ int main() {
                   buggy, fixed, speedup, row.with_bug, row.without_bug, paper_x);
     csv += line;
   }
-  WriteFile("table1_group_construction.csv", csv);
+  WriteFile(opts, "table1_group_construction.csv", csv);
   std::printf("\nShape checks: lu must be the extreme outlier; ep near the 2x CPU-share\n"
               "bound; is the least affected. CSV: table1_group_construction.csv\n");
   return 0;

@@ -69,8 +69,9 @@ Result RunTpch(bool fix_group_imbalance, bool fix_overload_wakeup) {
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
   PrintHeader("Table 2: TPC-H under the Overload-on-Wakeup / Group Imbalance fixes",
               "EuroSys'16 Table 2 — commercial DB, 64 workers, values vs the stock scheduler");
 
@@ -110,7 +111,7 @@ int main() {
                   dq, r.full_s, df, pq, pf);
     csv += line;
   }
-  WriteFile("table2_tpch_fixes.csv", csv);
+  WriteFile(opts, "table2_tpch_fixes.csv", csv);
   std::printf("\nShape checks: the wakeup fix dominates; Q18 improves more than the full mix;\n"
               "adding the Group Imbalance fix on top contributes little. CSV: table2_tpch_fixes.csv\n");
   return 0;

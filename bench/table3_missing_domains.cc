@@ -59,8 +59,9 @@ constexpr PaperRow kPaperRows[] = {
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
   PrintHeader("Table 3: NAS with the Missing Scheduling Domains bug",
               "EuroSys'16 Table 3 — 64 threads after disabling + re-enabling one core");
   std::printf("%-5s %14s %14s %9s | %14s %14s %9s\n", "app", "w/ bug (s)", "w/o bug (s)",
@@ -79,7 +80,7 @@ int main() {
                   buggy, fixed, speedup, row.with_bug, row.without_bug, paper_x);
     csv += line;
   }
-  WriteFile("table3_missing_domains.csv", csv);
+  WriteFile(opts, "table3_missing_domains.csv", csv);
   std::printf("\nShape checks: every app slows at least ~4x (it runs on one node instead of\n"
               "eight); lu and ua are the super-linear outliers. CSV: table3_missing_domains.csv\n");
   return 0;

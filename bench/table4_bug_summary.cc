@@ -114,8 +114,10 @@ double HotplugLu(bool fixed) {
 }  // namespace
 }  // namespace wcores
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wcores;
+  BenchOptions opts = ParseBenchArgs(argc, argv);
+  (void)opts;
   PrintHeader("Table 4: bugs found in the scheduler using our tools",
               "EuroSys'16 Table 4 — maximum measured performance impact per bug");
 

@@ -32,6 +32,12 @@ void CfsRunqueue::Enqueue(SchedEntity* se, Time now, EnqueueKind kind) {
       break;
   }
 
+  // Runqueue-wait accounting starts when the entity begins waiting; a
+  // migration moves the wait, it does not restart it.
+  if (kind != EnqueueKind::kMigrate) {
+    se->queued_since = now;
+  }
+
   se->on_rq = true;
   se->running = false;
   se->cpu = cpu_;

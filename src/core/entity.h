@@ -35,6 +35,15 @@ struct SchedEntity {
   Time last_dequeued = 0;     // When it last left a runqueue.
   Time last_ran = 0;          // When it last stopped running (cache-hot test).
 
+  // Latency accounting (src/telemetry/): when the entity last became
+  // runnable (queued without running), when it was last woken, and when it
+  // last became curr. `wakeup_pending` arms a one-shot wakeup->first-run
+  // latency report at the next switch-in.
+  Time queued_since = 0;
+  Time last_wakeup = 0;
+  Time switched_in_at = 0;
+  bool wakeup_pending = false;
+
   // Load tracking: runnable fraction, decayed (see pelt.h).
   LoadTracker load;
 

@@ -92,8 +92,12 @@ void Scheduler::UpdateIdleState(Time now, CpuId cpu) {
     if (!c.tickless) {
       c.idle_since = now;
       c.tickless = true;
+      trace_->OnIdleEnter(now, cpu);
     }
   } else {
+    if (c.tickless) {
+      trace_->OnIdleExit(now, cpu, now - c.idle_since);
+    }
     c.tickless = false;
   }
 }
@@ -156,6 +160,7 @@ void Scheduler::ExitCurrent(Time now, CpuId cpu) {
   Cpu& c = cpus_[cpu];
   SchedEntity* se = c.rq.curr();
   WC_CHECK(se != nullptr, "no running thread to exit");
+  trace_->OnSwitchOut(now, cpu, se->tid, now - se->switched_in_at, /*still_runnable=*/false);
   c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
   se->load.SetState(now, false);
   autogroups_[se->autogroup].nr_threads -= 1;
@@ -169,6 +174,7 @@ void Scheduler::BlockCurrent(Time now, CpuId cpu) {
   Cpu& c = cpus_[cpu];
   SchedEntity* se = c.rq.curr();
   WC_CHECK(se != nullptr, "no running thread to block");
+  trace_->OnSwitchOut(now, cpu, se->tid, now - se->switched_in_at, /*still_runnable=*/false);
   c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
   se->load.SetState(now, false);
   UpdateIdleState(now, cpu);
@@ -180,6 +186,8 @@ CpuId Scheduler::Wake(Time now, ThreadId tid, CpuId waker_cpu) {
   SchedEntity& se = entities_[tid];
   WC_CHECK(!se.on_rq, "waking a runnable thread");
   se.load.Advance(now);
+  se.last_wakeup = now;
+  se.wakeup_pending = true;
   stats_.wakeups += 1;
 
   CpuSet considered;
@@ -230,8 +238,9 @@ ThreadId Scheduler::PickNext(Time now, CpuId cpu) {
   if (!c.online) {
     return kInvalidThread;
   }
-  if (c.rq.curr() != nullptr) {
-    c.rq.curr()->load.Advance(now);
+  SchedEntity* prev = c.rq.curr();
+  if (prev != nullptr) {
+    prev->load.Advance(now);
     c.rq.PutCurr(now, CfsRunqueue::PutKind::kStillRunnable);
   }
   SchedEntity* next = c.rq.PickNext(now);
@@ -239,6 +248,22 @@ ThreadId Scheduler::PickNext(Time now, CpuId cpu) {
     // "Emergency" balancing when a core becomes idle (§2.2).
     IdleBalance(now, cpu);
     next = c.rq.PickNext(now);
+  }
+  // Switch accounting, with kernel sched_switch semantics: re-picking the
+  // same thread is not a switch and reports nothing.
+  if (next != prev) {
+    if (prev != nullptr) {
+      trace_->OnSwitchOut(now, cpu, prev->tid, now - prev->switched_in_at,
+                          /*still_runnable=*/true);
+    }
+    if (next != nullptr) {
+      trace_->OnSwitchIn(now, cpu, next->tid, now - next->queued_since);
+      next->switched_in_at = now;
+      if (next->wakeup_pending) {
+        next->wakeup_pending = false;
+        trace_->OnWakeupLatency(now, cpu, next->tid, now - next->last_wakeup);
+      }
+    }
   }
   UpdateIdleState(now, cpu);
   return next != nullptr ? next->tid : kInvalidThread;
@@ -324,7 +349,10 @@ void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
     std::vector<SchedEntity*> evacuees;
     if (c.rq.curr() != nullptr) {
       SchedEntity* curr = c.rq.curr();
+      trace_->OnSwitchOut(now, cpu, curr->tid, now - curr->switched_in_at,
+                          /*still_runnable=*/true);
       c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
+      curr->queued_since = now;  // Starts waiting on the evacuation target.
       evacuees.push_back(curr);
     }
     c.rq.ForEachQueued([&](const SchedEntity* se) {

@@ -146,6 +146,8 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
       int moved = MoveTasks(now, src, cpu, imbalance, force_min_one, reason);
       if (moved > 0) {
         cpus_[src].imbalanced = false;
+        stats_.balance_success += 1;
+        stats_.balance_moved_tasks += static_cast<uint64_t>(moved);
         return moved;
       }
       // Lines 20-22: the busiest cpu's threads are pinned elsewhere; mark

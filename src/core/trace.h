@@ -66,6 +66,55 @@ class TraceSink {
     (void)to;
     (void)reason;
   }
+
+  // ---- Latency accounting hooks (src/telemetry/) --------------------------
+  //
+  // These map to the kernel's sched_switch tracepoint and the schedstat
+  // wait/sleep accounting (sched_stat_wait, sched_stat_runtime): every
+  // context switch reports how long the incoming thread sat queued and how
+  // long the outgoing thread held the core.
+
+  // `tid` became the running thread of `cpu`; it spent `waited` queued on a
+  // runqueue since it last became runnable (maps to sched_stat_wait).
+  virtual void OnSwitchIn(Time now, CpuId cpu, ThreadId tid, Time waited) {
+    (void)now;
+    (void)cpu;
+    (void)tid;
+    (void)waited;
+  }
+
+  // `tid` stopped running on `cpu` after holding it for `ran` (the realized
+  // timeslice; maps to sched_stat_runtime). `still_runnable` distinguishes
+  // preemption from blocking/exit, like prev_state in sched_switch.
+  virtual void OnSwitchOut(Time now, CpuId cpu, ThreadId tid, Time ran, bool still_runnable) {
+    (void)now;
+    (void)cpu;
+    (void)tid;
+    (void)ran;
+    (void)still_runnable;
+  }
+
+  // `tid` ran for the first time after a wakeup; `latency` is wakeup ->
+  // first run (maps to sched_stat_sleep + the wakeup-latency metric of
+  // `perf sched latency`).
+  virtual void OnWakeupLatency(Time now, CpuId cpu, ThreadId tid, Time latency) {
+    (void)now;
+    (void)cpu;
+    (void)tid;
+    (void)latency;
+  }
+
+  // `cpu` ran out of work / received work again (maps to the idle task
+  // switching in and out).
+  virtual void OnIdleEnter(Time now, CpuId cpu) {
+    (void)now;
+    (void)cpu;
+  }
+  virtual void OnIdleExit(Time now, CpuId cpu, Time idle_for) {
+    (void)now;
+    (void)cpu;
+    (void)idle_for;
+  }
 };
 
 }  // namespace wcores

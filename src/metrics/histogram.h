@@ -17,6 +17,13 @@ class Summary {
     sorted_ = false;
   }
 
+  // Folds another summary's samples in; used to aggregate per-cpu summaries
+  // into per-node and machine-wide ones.
+  void Merge(const Summary& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = samples_.empty();
+  }
+
   size_t Count() const { return samples_.size(); }
 
   double Sum() const {

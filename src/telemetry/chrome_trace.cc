@@ -1,0 +1,445 @@
+#include "src/telemetry/chrome_trace.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace wcores {
+
+namespace {
+
+const char* MigrationReasonName(uint8_t sub) {
+  switch (static_cast<MigrationReason>(sub)) {
+    case MigrationReason::kPeriodicBalance:
+      return "periodic";
+    case MigrationReason::kIdleBalance:
+      return "idle";
+    case MigrationReason::kNohzBalance:
+      return "nohz";
+    case MigrationReason::kHotplug:
+      return "hotplug";
+  }
+  return "unknown";
+}
+
+// One line per trace record keeps the output diffable and the writer simple.
+class EventWriter {
+ public:
+  void Meta(const std::string& body) { lines_.push_back(body); }
+
+  void Append(char ph, double ts_us, int tid, const std::string& rest) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d", ph, ts_us,
+                  tid);
+    std::string line = "{";
+    line += buf;
+    if (!rest.empty()) {
+      line += ",";
+      line += rest;
+    }
+    line += "}";
+    lines_.push_back(std::move(line));
+  }
+
+  std::string Join() const {
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      out += lines_[i];
+      if (i + 1 < lines_.size()) {
+        out += ",";
+      }
+      out += "\n";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus) {
+  EventWriter w;
+  char buf[192];
+
+  w.Meta("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"wasted-cores simulated machine\"}}");
+  for (int c = 0; c < n_cpus; ++c) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"name\":\"cpu %d\"}}",
+                  c, c);
+    w.Meta(buf);
+  }
+
+  // At most one thread runs per cpu, so slices cannot nest; an open-slice
+  // map suffices to balance B/E records defensively.
+  std::map<int, int> open_slice;  // cpu -> tid of the open 'B'.
+  double last_ts = 0;
+  for (const TraceEvent& e : events) {
+    double ts = ToMicroseconds(e.when);
+    last_ts = ts;
+    switch (e.kind) {
+      case TraceEvent::Kind::kNrRunning:
+        std::snprintf(buf, sizeof(buf), "\"name\":\"rq size cpu%d\",\"args\":{\"size\":%.0f}",
+                      e.cpu, e.value);
+        w.Append('C', ts, e.cpu, buf);
+        break;
+      case TraceEvent::Kind::kLoad:
+        std::snprintf(buf, sizeof(buf), "\"name\":\"rq load cpu%d\",\"args\":{\"load\":%.3f}",
+                      e.cpu, e.value);
+        w.Append('C', ts, e.cpu, buf);
+        break;
+      case TraceEvent::Kind::kSwitchIn: {
+        auto it = open_slice.find(e.cpu);
+        if (it != open_slice.end()) {
+          std::snprintf(buf, sizeof(buf), "\"name\":\"tid %d\",\"cat\":\"sched\"", it->second);
+          w.Append('E', ts, e.cpu, buf);
+        }
+        open_slice[e.cpu] = e.tid;
+        std::snprintf(buf, sizeof(buf),
+                      "\"name\":\"tid %d\",\"cat\":\"sched\",\"args\":{\"waited_us\":%.3f}",
+                      e.tid, e.value / 1000.0);
+        w.Append('B', ts, e.cpu, buf);
+        break;
+      }
+      case TraceEvent::Kind::kSwitchOut: {
+        auto it = open_slice.find(e.cpu);
+        if (it == open_slice.end()) {
+          break;  // Switch-out with no recorded switch-in; nothing to close.
+        }
+        std::snprintf(buf, sizeof(buf), "\"name\":\"tid %d\",\"cat\":\"sched\"", it->second);
+        w.Append('E', ts, e.cpu, buf);
+        open_slice.erase(it);
+        break;
+      }
+      case TraceEvent::Kind::kMigration:
+        std::snprintf(buf, sizeof(buf),
+                      "\"name\":\"migrate tid %d\",\"cat\":\"sched\",\"s\":\"t\","
+                      "\"args\":{\"from\":%d,\"to\":%d,\"reason\":\"%s\"}",
+                      e.tid, e.cpu, e.cpu2, MigrationReasonName(e.sub));
+        w.Append('i', ts, e.cpu2, buf);
+        break;
+      case TraceEvent::Kind::kWakeupLatency:
+        std::snprintf(buf, sizeof(buf),
+                      "\"name\":\"wakeup tid %d\",\"cat\":\"sched\",\"s\":\"t\","
+                      "\"args\":{\"latency_us\":%.3f}",
+                      e.tid, e.value / 1000.0);
+        w.Append('i', ts, e.cpu, buf);
+        break;
+      case TraceEvent::Kind::kConsidered:
+      case TraceEvent::Kind::kIdleEnter:
+      case TraceEvent::Kind::kIdleExit:
+        // Considered-sets and idle periods are legible from the heatmap tool
+        // and the rq-size counter tracks; no timeline record.
+        break;
+    }
+  }
+
+  // Close slices still open at the end of the recording.
+  for (const auto& [cpu, tid] : open_slice) {
+    std::snprintf(buf, sizeof(buf), "\"name\":\"tid %d\",\"cat\":\"sched\"", tid);
+    w.Append('E', last_ts, cpu, buf);
+  }
+  return w.Join();
+}
+
+// ---- Minimal JSON parser ---------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      return ParseLiteral(c == 't' ? "true" : "false", out);
+    }
+    if (c == 'n') {
+      return ParseLiteral("null", out);
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseLiteral(const char* lit, JsonValue* out) {
+    size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) != 0) {
+      return Fail("bad literal");
+    }
+    pos_ += len;
+    if (lit[0] == 'n') {
+      out->type = JsonValue::Type::kNull;
+    } else {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = lit[0] == 't';
+    }
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start || !std::isfinite(v)) {
+      return Fail("bad number");
+    }
+    pos_ += static_cast<size_t>(end - start);
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out->push_back(esc);
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("bad unicode escape");
+            }
+            // Keep escapes verbatim; the exporter never emits them.
+            out->append("\\u");
+            out->append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    Consume('[');
+    out->type = JsonValue::Type::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      out->array.emplace_back();
+      SkipWs();
+      if (!ParseValue(&out->array.back())) {
+        return false;
+      }
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    Consume('{');
+    out->type = JsonValue::Type::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      SkipWs();
+      out->object.emplace_back(std::move(key), JsonValue{});
+      if (!ParseValue(&out->object.back().second)) {
+        return false;
+      }
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  return JsonParser(text, error).Parse(out);
+}
+
+ChromeTraceCheck CheckChromeTrace(const std::string& json) {
+  ChromeTraceCheck check;
+  JsonValue root;
+  if (!ParseJson(json, &root, &check.error)) {
+    return check;
+  }
+  check.valid_json = true;
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    check.error = "missing traceEvents array";
+    return check;
+  }
+
+  check.ts_monotonic = true;
+  check.slices_balanced = true;
+  double last_ts = -1;
+  std::map<double, int> depth_per_track;  // tid -> open 'B' depth.
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString || ph->str.empty()) {
+      check.error = "record without ph";
+      check.slices_balanced = false;
+      return check;
+    }
+    const JsonValue* ts = e.Find("ts");
+    if (ts != nullptr && ts->type == JsonValue::Type::kNumber) {
+      if (ts->number < last_ts) {
+        check.ts_monotonic = false;
+      }
+      last_ts = ts->number;
+    }
+    const JsonValue* tid = e.Find("tid");
+    double track = tid != nullptr ? tid->number : -1;
+    const JsonValue* name = e.Find("name");
+    switch (ph->str[0]) {
+      case 'M':
+        if (name != nullptr && name->str == "thread_name") {
+          check.thread_name_records += 1;
+        }
+        break;
+      case 'B':
+        check.slices += 1;
+        depth_per_track[track] += 1;
+        break;
+      case 'E':
+        if (--depth_per_track[track] < 0) {
+          check.slices_balanced = false;
+        }
+        break;
+      case 'C':
+        check.counters += 1;
+        break;
+      case 'i':
+        check.instants += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [track, depth] : depth_per_track) {
+    if (depth != 0) {
+      check.slices_balanced = false;
+    }
+  }
+  return check;
+}
+
+}  // namespace wcores

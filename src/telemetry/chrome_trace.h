@@ -1,0 +1,63 @@
+// Chrome trace-event JSON export (the telemetry subsystem's timeline side).
+//
+// Converts the recorder's event array into a timeline loadable by Perfetto
+// (ui.perfetto.dev) or chrome://tracing, in the Trace Event Format:
+//   * one track ("thread") per cpu, named via 'M' metadata records,
+//   * 'B'/'E' duration slices for every thread's stint on a core,
+//   * 'i' instant events for migrations (on the destination cpu's track),
+//   * 'C' counter tracks for each cpu's runqueue size and load.
+// Timestamps are microseconds, as the format requires.
+#ifndef SRC_TELEMETRY_CHROME_TRACE_H_
+#define SRC_TELEMETRY_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tools/recorder.h"
+
+namespace wcores {
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus);
+
+// ---- Validation (tests, telemetry_smoke) ----------------------------------
+
+// A minimal JSON document model, sufficient to re-read exported traces.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // First member with `key`, or nullptr (objects only).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Strict recursive-descent parse of a complete JSON document. Returns false
+// and fills `error` (with an offset) on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// Structural check of an exported trace: parses the JSON, walks
+// traceEvents, and verifies the invariants the exporter promises.
+struct ChromeTraceCheck {
+  bool valid_json = false;
+  bool ts_monotonic = false;        // Non-decreasing ts over the event array.
+  bool slices_balanced = false;     // Every 'B' has a matching 'E' per track.
+  int thread_name_records = 0;      // 'M' thread_name entries (one per cpu).
+  uint64_t slices = 0;              // 'B' records.
+  uint64_t counters = 0;            // 'C' records.
+  uint64_t instants = 0;            // 'i' records.
+  std::string error;
+
+  bool Ok(int n_cpus) const {
+    return valid_json && ts_monotonic && slices_balanced && thread_name_records == n_cpus;
+  }
+};
+
+ChromeTraceCheck CheckChromeTrace(const std::string& json);
+
+}  // namespace wcores
+
+#endif  // SRC_TELEMETRY_CHROME_TRACE_H_

@@ -1,0 +1,92 @@
+#include "src/telemetry/latency.h"
+
+namespace wcores {
+
+namespace {
+const LatencyDistributions kEmptyDistributions;
+}  // namespace
+
+LatencyDistributions& LatencyAccountant::ThreadSlot(ThreadId tid) {
+  if (tid >= static_cast<ThreadId>(per_thread_.size())) {
+    per_thread_.resize(tid + 1);
+  }
+  return per_thread_[tid];
+}
+
+const LatencyDistributions& LatencyAccountant::Thread(ThreadId tid) const {
+  if (tid < 0 || tid >= static_cast<ThreadId>(per_thread_.size())) {
+    return kEmptyDistributions;
+  }
+  return per_thread_[tid];
+}
+
+void LatencyAccountant::OnSwitchIn(Time now, CpuId cpu, ThreadId tid, Time waited) {
+  double w = static_cast<double>(waited);
+  per_cpu_[cpu].rq_wait.Add(w);
+  ThreadSlot(tid).rq_wait.Add(w);
+
+  if (tid < static_cast<ThreadId>(pending_migration_.size()) &&
+      pending_migration_[tid].when != kTimeNever) {
+    double cost = static_cast<double>(now - pending_migration_[tid].when);
+    pending_migration_[tid].when = kTimeNever;
+    per_cpu_[cpu].migration_cost.Add(cost);
+    ThreadSlot(tid).migration_cost.Add(cost);
+  }
+}
+
+void LatencyAccountant::OnSwitchOut(Time now, CpuId cpu, ThreadId tid, Time ran,
+                                    bool still_runnable) {
+  (void)now;
+  (void)still_runnable;
+  double r = static_cast<double>(ran);
+  per_cpu_[cpu].timeslice.Add(r);
+  ThreadSlot(tid).timeslice.Add(r);
+}
+
+void LatencyAccountant::OnWakeupLatency(Time now, CpuId cpu, ThreadId tid, Time latency) {
+  (void)now;
+  double l = static_cast<double>(latency);
+  per_cpu_[cpu].wakeup_latency.Add(l);
+  ThreadSlot(tid).wakeup_latency.Add(l);
+}
+
+void LatencyAccountant::OnMigration(Time now, ThreadId tid, CpuId from, CpuId to,
+                                    MigrationReason reason) {
+  (void)from;
+  (void)reason;
+  migrations_[to] += 1;
+  if (tid >= static_cast<ThreadId>(pending_migration_.size())) {
+    pending_migration_.resize(tid + 1);
+  }
+  pending_migration_[tid].when = now;
+}
+
+void LatencyAccountant::OnIdleEnter(Time now, CpuId cpu) {
+  (void)now;
+  idle_enters_[cpu] += 1;
+}
+
+void LatencyAccountant::OnIdleExit(Time now, CpuId cpu, Time idle_for) {
+  (void)now;
+  idle_time_[cpu] += idle_for;
+}
+
+LatencyDistributions LatencyAccountant::AggregateCpus(const CpuSet& cpus) const {
+  LatencyDistributions agg;
+  for (CpuId c : cpus) {
+    if (c < static_cast<CpuId>(per_cpu_.size())) {
+      agg.Merge(per_cpu_[c]);
+    }
+  }
+  return agg;
+}
+
+LatencyDistributions LatencyAccountant::Machine() const {
+  LatencyDistributions agg;
+  for (const LatencyDistributions& d : per_cpu_) {
+    agg.Merge(d);
+  }
+  return agg;
+}
+
+}  // namespace wcores

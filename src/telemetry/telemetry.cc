@@ -1,0 +1,73 @@
+#include "src/telemetry/telemetry.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/core/scheduler.h"
+#include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/schedstat.h"
+
+namespace wcores {
+
+namespace {
+
+void AppendDigest(std::string* out, const char* name, const Summary& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s p50=%.1fus p99=%.1fus max=%s n=%llu", name,
+                s.Quantile(0.50) / 1000.0, s.Quantile(0.99) / 1000.0,
+                FormatTime(static_cast<Time>(s.Max())).c_str(),
+                static_cast<unsigned long long>(s.Count()));
+  *out += buf;
+}
+
+bool WriteTextFile(const std::filesystem::path& path, const std::string& text,
+                   std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  out.close();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "failed to write " + path.string();
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TelemetrySession::Schedstat(const Scheduler& sched, Time now) const {
+  return SchedstatReport(sched, latency_, now);
+}
+
+std::string TelemetrySession::LatencySnapshot() const {
+  LatencyDistributions m = latency_.Machine();
+  std::string out;
+  AppendDigest(&out, "rq_wait", m.rq_wait);
+  out += " | ";
+  AppendDigest(&out, "wakeup", m.wakeup_latency);
+  out += " | ";
+  AppendDigest(&out, "timeslice", m.timeslice);
+  return out;
+}
+
+bool TelemetrySession::WriteReports(const std::string& dir, const Scheduler& sched, Time now,
+                                    const std::string& label, std::string* error) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create " + dir + ": " + ec.message();
+    }
+    return false;
+  }
+  std::filesystem::path base(dir);
+  if (!WriteTextFile(base / (label + "schedstat.txt"), Schedstat(sched, now), error)) {
+    return false;
+  }
+  std::string json = ChromeTraceJson(recorder_.events(), sched.topology().n_cores());
+  return WriteTextFile(base / (label + "trace.json"), json, error);
+}
+
+}  // namespace wcores

@@ -1,0 +1,63 @@
+// The telemetry subsystem's front door: one object that owns every sink.
+//
+// A TelemetrySession bundles an EventRecorder (raw event array, Chrome trace
+// source) and a LatencyAccountant (latency percentiles) behind a single
+// TraceSink, and writes the two report artifacts — a /proc/schedstat-style
+// text report and a Perfetto-loadable trace JSON — into a directory.
+//
+//   TelemetrySession telemetry(machine.topo.n_cores());
+//   Simulator sim(machine.topo, features, seed, telemetry.sink());
+//   ... run ...
+//   telemetry.WriteReports("out/telemetry", sim.sched(), sim.Now(), "fig2_");
+#ifndef SRC_TELEMETRY_TELEMETRY_H_
+#define SRC_TELEMETRY_TELEMETRY_H_
+
+#include <string>
+
+#include "src/telemetry/latency.h"
+#include "src/tools/recorder.h"
+
+namespace wcores {
+
+class Scheduler;
+
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(int n_cpus, size_t recorder_capacity = 1 << 22)
+      : latency_(n_cpus), recorder_(recorder_capacity) {
+    multi_.Add(&latency_);
+    multi_.Add(&recorder_);
+  }
+
+  // The sink to hand to Scheduler / Simulator. Valid for this object's
+  // lifetime.
+  TraceSink* sink() { return &multi_; }
+
+  LatencyAccountant& latency() { return latency_; }
+  const LatencyAccountant& latency() const { return latency_; }
+  EventRecorder& recorder() { return recorder_; }
+  const EventRecorder& recorder() const { return recorder_; }
+
+  // Renders the schedstat report for `sched` at virtual time `now`.
+  std::string Schedstat(const Scheduler& sched, Time now) const;
+
+  // One-line machine-wide latency digest, e.g. for attaching to sanity-checker
+  // violations:
+  //   "rq_wait p50=12.0us p99=480.0us max=1.2ms (n=5321) wakeup p99=..."
+  std::string LatencySnapshot() const;
+
+  // Writes `<label>schedstat.txt` and `<label>trace.json` under `dir`
+  // (created, with parents, if missing). Returns false if any file could not
+  // be written; `error` (optional) gets the reason.
+  bool WriteReports(const std::string& dir, const Scheduler& sched, Time now,
+                    const std::string& label = "", std::string* error = nullptr) const;
+
+ private:
+  LatencyAccountant latency_;
+  EventRecorder recorder_;
+  MultiSink multi_;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_TELEMETRY_TELEMETRY_H_

@@ -14,8 +14,11 @@ BalanceProfile ProfileFromStats(const SchedStats& before, const SchedStats& afte
   p.found_busiest = after.balance_found_busiest - before.balance_found_busiest;
   p.below_local = after.balance_below_local - before.balance_below_local;
   p.designation_skips = after.balance_designation_skips - before.balance_designation_skips;
+  p.interval_skips = after.balance_interval_skips - before.balance_interval_skips;
   p.affinity_retries = after.balance_affinity_retries - before.balance_affinity_retries;
   p.failures = after.balance_failures - before.balance_failures;
+  p.success = after.balance_success - before.balance_success;
+  p.moved_tasks = after.balance_moved_tasks - before.balance_moved_tasks;
   p.migrations = after.TotalMigrations() - before.TotalMigrations();
   p.wakeups = after.wakeups - before.wakeups;
   p.wakeups_on_busy = after.wakeups_on_busy - before.wakeups_on_busy;
@@ -44,6 +47,42 @@ std::string ProfileReport(const BalanceProfile& p) {
       static_cast<unsigned long long>(p.migrations), static_cast<unsigned long long>(p.wakeups),
       static_cast<unsigned long long>(p.wakeups_on_busy));
   return buf;
+}
+
+std::string BalanceVerdictTable(const BalanceProfile& p) {
+  // Every invocation of the balancing machinery ends in exactly one verdict.
+  // Interval/designation skips happen before the Algorithm-1 body runs;
+  // bodies end moved / below-local / nothing-movable.
+  struct Row {
+    const char* verdict;
+    uint64_t count;
+  };
+  const Row rows[] = {
+      {"moved threads", p.success},
+      {"balanced (busiest <= local)", p.below_local},
+      {"nothing movable (pinned/empty)", p.failures},
+      {"skipped: interval not due", p.interval_skips},
+      {"skipped: not designated core", p.designation_skips},
+  };
+  uint64_t total = 0;
+  for (const Row& r : rows) {
+    total += r.count;
+  }
+  std::string out = "balance decision verdicts:\n";
+  char buf[128];
+  for (const Row& r : rows) {
+    double share = total > 0 ? 100.0 * static_cast<double>(r.count) / static_cast<double>(total)
+                             : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-32s %10llu  (%5.1f%%)\n", r.verdict,
+                  static_cast<unsigned long long>(r.count), share);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-32s %10llu\n  threads moved per success: %.2f\n",
+                "total invocations", static_cast<unsigned long long>(total),
+                p.success > 0 ? static_cast<double>(p.moved_tasks) / static_cast<double>(p.success)
+                              : 0.0);
+  out += buf;
+  return out;
 }
 
 std::string ConsideredSummary(const EventRecorder& recorder, Time t0, Time t1, int n_cpus) {

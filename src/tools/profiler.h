@@ -20,8 +20,11 @@ struct BalanceProfile {
   uint64_t found_busiest = 0;
   uint64_t below_local = 0;        // Gave up: busiest group not above local.
   uint64_t designation_skips = 0;  // Gave up: not the designated core.
+  uint64_t interval_skips = 0;     // Gave up before the body: interval not due.
   uint64_t affinity_retries = 0;   // Tasksets forced cpu exclusion.
   uint64_t failures = 0;           // No thread could be moved.
+  uint64_t success = 0;            // Bodies that moved at least one thread.
+  uint64_t moved_tasks = 0;        // Threads moved by those bodies.
   uint64_t migrations = 0;
   uint64_t wakeups = 0;
   uint64_t wakeups_on_busy = 0;
@@ -32,6 +35,12 @@ BalanceProfile ProfileFromStats(const SchedStats& before, const SchedStats& afte
                                 Time t1);
 
 std::string ProfileReport(const BalanceProfile& profile);
+
+/// The decision-verdict table of the schedstat report: one row per way an
+// Algorithm-1 invocation can end (moved threads, balanced already, not the
+// designated core, interval not due, pinned, nothing movable), with counts
+// and the share of all invocations.
+std::string BalanceVerdictTable(const BalanceProfile& profile);
 
 // Counts, per initiator cpu, the balancing events recorded in [t0, t1) and
 // renders the cores each examined — the evidence trail used in §3.4 to show

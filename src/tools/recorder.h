@@ -22,10 +22,16 @@ namespace wcores {
 
 struct TraceEvent {
   enum class Kind : uint8_t {
-    kNrRunning,   // value = new runqueue size of `cpu`.
-    kLoad,        // value = new runqueue load of `cpu`.
-    kConsidered,  // `cpu` examined `considered` during balancing/wakeup.
-    kMigration,   // thread `tid` moved `cpu` -> `cpu2`.
+    kNrRunning,      // value = new runqueue size of `cpu`.
+    kLoad,           // value = new runqueue load of `cpu`.
+    kConsidered,     // `cpu` examined `considered` during balancing/wakeup.
+    kMigration,      // thread `tid` moved `cpu` -> `cpu2`.
+    kSwitchIn,       // `tid` started running on `cpu`; value = ns waited queued.
+    kSwitchOut,      // `tid` stopped running on `cpu`; value = ns it ran;
+                     // sub = 1 if still runnable (preempted), 0 if blocked.
+    kWakeupLatency,  // `tid` first ran after a wakeup; value = ns of latency.
+    kIdleEnter,      // `cpu` ran out of work.
+    kIdleExit,       // `cpu` received work; value = ns it sat idle.
   };
 
   Time when = 0;
@@ -67,8 +73,40 @@ class EventRecorder : public TraceSink {
                       static_cast<int16_t>(from), static_cast<int16_t>(to), tid, 0, CpuSet{}});
   }
 
+  void OnSwitchIn(Time now, CpuId cpu, ThreadId tid, Time waited) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kSwitchIn, 0, static_cast<int16_t>(cpu), -1, tid,
+                      static_cast<double>(waited), CpuSet{}});
+  }
+
+  void OnSwitchOut(Time now, CpuId cpu, ThreadId tid, Time ran, bool still_runnable) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kSwitchOut,
+                      static_cast<uint8_t>(still_runnable ? 1 : 0), static_cast<int16_t>(cpu), -1,
+                      tid, static_cast<double>(ran), CpuSet{}});
+  }
+
+  void OnWakeupLatency(Time now, CpuId cpu, ThreadId tid, Time latency) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kWakeupLatency, 0, static_cast<int16_t>(cpu), -1,
+                      tid, static_cast<double>(latency), CpuSet{}});
+  }
+
+  void OnIdleEnter(Time now, CpuId cpu) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kIdleEnter, 0, static_cast<int16_t>(cpu), -1, -1, 0,
+                      CpuSet{}});
+  }
+
+  void OnIdleExit(Time now, CpuId cpu, Time idle_for) override {
+    Append(TraceEvent{now, TraceEvent::Kind::kIdleExit, 0, static_cast<int16_t>(cpu), -1, -1,
+                      static_cast<double>(idle_for), CpuSet{}});
+  }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+  // Fraction of the static array already used, for sinks that must warn
+  // before events start dropping.
+  double FillFraction() const {
+    return capacity_ == 0 ? 1.0 : static_cast<double>(events_.size()) / static_cast<double>(capacity_);
+  }
   void Clear() {
     events_.clear();
     dropped_ = 0;
@@ -82,7 +120,9 @@ class EventRecorder : public TraceSink {
   uint64_t CountKind(TraceEvent::Kind kind) const;
 
  private:
-  void Append(TraceEvent event) {
+  // By reference: TraceEvent carries a CpuSet, and pass-by-value copied it
+  // once per recorded event on the scheduler's hottest paths.
+  void Append(const TraceEvent& event) {
     if (!enabled_) {
       return;
     }
@@ -123,6 +163,31 @@ class MultiSink : public TraceSink {
   void OnMigration(Time now, ThreadId tid, CpuId from, CpuId to, MigrationReason reason) override {
     for (TraceSink* s : sinks_) {
       s->OnMigration(now, tid, from, to, reason);
+    }
+  }
+  void OnSwitchIn(Time now, CpuId cpu, ThreadId tid, Time waited) override {
+    for (TraceSink* s : sinks_) {
+      s->OnSwitchIn(now, cpu, tid, waited);
+    }
+  }
+  void OnSwitchOut(Time now, CpuId cpu, ThreadId tid, Time ran, bool still_runnable) override {
+    for (TraceSink* s : sinks_) {
+      s->OnSwitchOut(now, cpu, tid, ran, still_runnable);
+    }
+  }
+  void OnWakeupLatency(Time now, CpuId cpu, ThreadId tid, Time latency) override {
+    for (TraceSink* s : sinks_) {
+      s->OnWakeupLatency(now, cpu, tid, latency);
+    }
+  }
+  void OnIdleEnter(Time now, CpuId cpu) override {
+    for (TraceSink* s : sinks_) {
+      s->OnIdleEnter(now, cpu);
+    }
+  }
+  void OnIdleExit(Time now, CpuId cpu, Time idle_for) override {
+    for (TraceSink* s : sinks_) {
+      s->OnIdleExit(now, cpu, idle_for);
     }
   }
 

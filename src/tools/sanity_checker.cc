@@ -91,6 +91,9 @@ void SanityChecker::Confirm(CpuId idle_cpu, Time detected_at, SchedStats stats_b
   v.balance_designation_skips =
       after.balance_designation_skips - stats_before.balance_designation_skips;
   v.migrations = after.TotalMigrations() - stats_before.TotalMigrations();
+  if (options_.latency_snapshot) {
+    v.latency_snapshot = options_.latency_snapshot();
+  }
   violations_.push_back(std::move(v));
 }
 
@@ -106,7 +109,11 @@ std::string SanityChecker::Report(const Violation& v) {
                 static_cast<unsigned long long>(v.balance_below_local),
                 static_cast<unsigned long long>(v.balance_designation_skips),
                 static_cast<unsigned long long>(v.migrations));
-  return buf;
+  std::string out = buf;
+  if (!v.latency_snapshot.empty()) {
+    out += "  latency at confirmation: " + v.latency_snapshot + "\n";
+  }
+  return out;
 }
 
 }  // namespace wcores

@@ -15,6 +15,7 @@
 #define SRC_TOOLS_SANITY_CHECKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,11 @@ class SanityChecker {
     Time confirmation_window = Milliseconds(100);  // M.
     // Stop scheduling checks after this instant (0 = forever).
     Time stop_at = 0;
+    // Optional: called when a violation is confirmed; its return value is
+    // stored in Violation::latency_snapshot. Lets callers attach telemetry
+    // (e.g. TelemetrySession::LatencySnapshot) without this tool depending
+    // on the telemetry library.
+    std::function<std::string()> latency_snapshot;
   };
 
   struct Violation {
@@ -46,6 +52,8 @@ class SanityChecker {
     uint64_t balance_below_local = 0;
     uint64_t balance_designation_skips = 0;
     uint64_t migrations = 0;
+    // Machine-wide latency digest at confirmation, if a provider was set.
+    std::string latency_snapshot;
   };
 
   SanityChecker(Simulator* sim, Options options);

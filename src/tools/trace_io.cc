@@ -20,6 +20,16 @@ char KindChar(TraceEvent::Kind kind) {
       return 'C';
     case TraceEvent::Kind::kMigration:
       return 'M';
+    case TraceEvent::Kind::kSwitchIn:
+      return 'I';
+    case TraceEvent::Kind::kSwitchOut:
+      return 'O';
+    case TraceEvent::Kind::kWakeupLatency:
+      return 'W';
+    case TraceEvent::Kind::kIdleEnter:
+      return 'E';
+    case TraceEvent::Kind::kIdleExit:
+      return 'X';
   }
   return '?';
 }
@@ -37,6 +47,21 @@ bool KindFromChar(char c, TraceEvent::Kind* kind) {
       return true;
     case 'M':
       *kind = TraceEvent::Kind::kMigration;
+      return true;
+    case 'I':
+      *kind = TraceEvent::Kind::kSwitchIn;
+      return true;
+    case 'O':
+      *kind = TraceEvent::Kind::kSwitchOut;
+      return true;
+    case 'W':
+      *kind = TraceEvent::Kind::kWakeupLatency;
+      return true;
+    case 'X':
+      *kind = TraceEvent::Kind::kIdleExit;
+      return true;
+    case 'E':
+      *kind = TraceEvent::Kind::kIdleEnter;
       return true;
     default:
       return false;
@@ -171,6 +196,17 @@ TraceSummary SummarizeTrace(const std::vector<TraceEvent>& events) {
         break;
       case TraceEvent::Kind::kMigration:
         summary.migration_events += 1;
+        break;
+      case TraceEvent::Kind::kSwitchIn:
+      case TraceEvent::Kind::kSwitchOut:
+        summary.switch_events += 1;
+        break;
+      case TraceEvent::Kind::kWakeupLatency:
+        summary.wakeup_latency_events += 1;
+        break;
+      case TraceEvent::Kind::kIdleEnter:
+      case TraceEvent::Kind::kIdleExit:
+        summary.idle_events += 1;
         break;
     }
     if (first) {

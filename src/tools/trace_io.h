@@ -6,9 +6,11 @@
 //
 // Format, one event per line:
 //   ns,kind,sub,cpu,cpu2,tid,value,considered
-// where kind is N/L/C/M (nr-running / load / considered / migration), sub is
-// the ConsideredKind or MigrationReason ordinal, and considered is the cpu
-// list in cpuset notation ("0-3,8") or empty.
+// where kind is N/L/C/M (nr-running / load / considered / migration) or
+// I/O/W/E/X (switch-in / switch-out / wakeup-latency / idle-enter /
+// idle-exit), sub is the ConsideredKind or MigrationReason ordinal (or the
+// still-runnable bit of a switch-out), and considered is the cpu list in
+// cpuset notation ("0-3,8") or empty.
 #ifndef SRC_TOOLS_TRACE_IO_H_
 #define SRC_TOOLS_TRACE_IO_H_
 
@@ -35,11 +37,15 @@ struct TraceSummary {
   uint64_t load_events = 0;
   uint64_t considered_events = 0;
   uint64_t migration_events = 0;
+  uint64_t switch_events = 0;          // Switch-in + switch-out.
+  uint64_t wakeup_latency_events = 0;
+  uint64_t idle_events = 0;            // Idle-enter + idle-exit.
   Time first = 0;
   Time last = 0;
 
   uint64_t Total() const {
-    return nr_running_events + load_events + considered_events + migration_events;
+    return nr_running_events + load_events + considered_events + migration_events +
+           switch_events + wakeup_latency_events + idle_events;
   }
   double EventsPerSecond() const {
     return last > first ? static_cast<double>(Total()) / ToSeconds(last - first) : 0.0;
