@@ -2,11 +2,14 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace wcores {
 
@@ -16,24 +19,59 @@ struct BenchOptions {
   std::string telemetry_dir;    // Empty = telemetry reports disabled.
 };
 
-// Parses the shared flags: --out=DIR, --telemetry[=DIR] (bare --telemetry
-// defaults to <out_dir>/telemetry). Unknown flags abort with usage, so the
-// binaries stay runnable with no arguments, as CI expects.
-inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+// A binary-specific flag, parsed alongside the shared set. Matches
+// --NAME=VALUE; the raw VALUE is stored into *value (the binary converts).
+struct BenchFlag {
+  const char* name;    // Without the leading "--".
+  std::string* value;
+  const char* help;    // One line for the usage message.
+};
+
+// Parses the shared flags — --out=DIR, --telemetry[=DIR] (bare --telemetry
+// defaults to <out_dir>/telemetry) — plus any binary-specific `extra`
+// flags. Unknown flags abort with a usage message listing everything, so
+// the binaries stay runnable with no arguments, as CI expects.
+inline BenchOptions ParseBenchArgs(int argc, char** argv,
+                                   const std::vector<BenchFlag>& extra = {}) {
   BenchOptions opts;
   bool telemetry = false;
+  auto usage = [&](const char* bad) {
+    std::fprintf(stderr, "unknown argument '%s'\nusage: %s [--out=DIR] [--telemetry[=DIR]]", bad,
+                 argv[0]);
+    for (const BenchFlag& f : extra) {
+      std::fprintf(stderr, " [--%s=V]", f.name);
+    }
+    std::fprintf(stderr, "\n");
+    for (const BenchFlag& f : extra) {
+      std::fprintf(stderr, "  --%s=V  %s\n", f.name, f.help);
+    }
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       opts.out_dir = arg.substr(6);
-    } else if (arg == "--telemetry") {
+      continue;
+    }
+    if (arg == "--telemetry") {
       telemetry = true;
-    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      continue;
+    }
+    if (arg.rfind("--telemetry=", 0) == 0) {
       opts.telemetry_dir = arg.substr(12);
-    } else {
-      std::fprintf(stderr, "unknown argument '%s'\nusage: %s [--out=DIR] [--telemetry[=DIR]]\n",
-                   arg.c_str(), argv[0]);
-      std::exit(2);
+      continue;
+    }
+    bool matched = false;
+    for (const BenchFlag& f : extra) {
+      std::string prefix = std::string("--") + f.name + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        *f.value = arg.substr(prefix.size());
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      usage(arg.c_str());
     }
   }
   if (telemetry && opts.telemetry_dir.empty()) {
@@ -58,6 +96,96 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("Reproduces: %s\n", paper_ref);
   std::printf("==============================================================================\n");
 }
+
+// ---- Machine-readable bench results (BENCH_<name>.json) ---------------------
+//
+// The perf trajectory is tracked by checked-in BENCH_*.json files. Every
+// bench that wants to participate reduces its run to a BenchReport; the
+// JSON shape is deliberately flat so diffs between commits read naturally.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[32];
+  // %.17g round-trips doubles; trim to %g when exact so small integers stay
+  // readable ("4" rather than "4.0000000000000000").
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  double back = std::strtod(buf, nullptr);
+  if (back != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+struct BenchReport {
+  std::string bench;  // Short name: "sweep", "micro_sched_ops", ...
+
+  struct Row {
+    std::string name;
+    std::map<std::string, double> metrics;       // Numeric measurements.
+    std::map<std::string, std::string> labels;   // Non-numeric annotations.
+  };
+  std::vector<Row> rows;
+  std::map<std::string, double> context_num;     // e.g. host_cores, threads.
+  std::map<std::string, std::string> context;    // e.g. build_type.
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + JsonEscape(bench) + "\",\n  \"context\": {";
+    bool first = true;
+    for (const auto& [k, v] : context) {
+      out += first ? "" : ", ";
+      out += "\"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+      first = false;
+    }
+    for (const auto& [k, v] : context_num) {
+      out += first ? "" : ", ";
+      out += "\"" + JsonEscape(k) + "\": " + JsonNumber(v);
+      first = false;
+    }
+    out += "},\n  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      out += "    {\"name\": \"" + JsonEscape(row.name) + "\"";
+      for (const auto& [k, v] : row.labels) {
+        out += ", \"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+      }
+      for (const auto& [k, v] : row.metrics) {
+        out += ", \"" + JsonEscape(k) + "\": " + JsonNumber(v);
+      }
+      out += i + 1 < rows.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  // Writes BENCH_<bench>.json into opts.out_dir.
+  void Write(const BenchOptions& opts) const {
+    WriteFile(opts, "BENCH_" + bench + ".json", ToJson());
+  }
+};
 
 }  // namespace wcores
 

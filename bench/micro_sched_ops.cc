@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "bench/gbench_json.h"
+
 #include "src/core/cfs_rq.h"
 #include "src/core/rbtree.h"
 #include "src/core/scheduler.h"
@@ -51,6 +53,36 @@ void BM_RbTreeInsertErase(benchmark::State& state) {
   state.SetLabel("tree size " + std::to_string(n));
 }
 BENCHMARK(BM_RbTreeInsertErase)->Arg(8)->Arg(64)->Arg(1024);
+
+// Insert/erase at the tree boundaries: the runqueue's actual enqueue
+// pattern. Wakeup enqueues land at-or-below min_vruntime (sleeper credit)
+// and a preempted CPU hog re-enqueues at the maximum, so both ends are the
+// hot case the leftmost/rightmost hint in RbTree::Insert targets.
+void BM_RbTreeInsertEraseBoundary(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<BenchItem> items(n);
+  Rng rng(1);
+  for (int i = 0; i < n - 2; ++i) {
+    items[i].key = 1 + rng.Next() % (~0ull - 2);
+    items[i].tid = i;
+  }
+  items[n - 2].key = 0;  // Below every other key: leftmost hint.
+  items[n - 2].tid = n - 2;
+  items[n - 1].key = ~0ull;  // Above every other key: rightmost hint.
+  items[n - 1].tid = n - 1;
+  RbTree<BenchItem, &BenchItem::node, BenchItemLess> tree;
+  for (int i = 0; i < n - 2; ++i) {
+    tree.Insert(&items[i]);
+  }
+  for (auto _ : state) {
+    tree.Insert(&items[n - 2]);
+    tree.Insert(&items[n - 1]);
+    tree.Erase(&items[n - 2]);
+    tree.Erase(&items[n - 1]);
+  }
+  state.SetLabel("tree size " + std::to_string(n));
+}
+BENCHMARK(BM_RbTreeInsertEraseBoundary)->Arg(8)->Arg(64)->Arg(1024);
 
 void BM_RbTreeLeftmost(benchmark::State& state) {
   const int n = 1024;
@@ -170,3 +202,7 @@ BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wcores
+
+int main(int argc, char** argv) {
+  return wcores::GbenchJsonMain("micro_sched_ops", argc, argv);
+}

@@ -1,0 +1,127 @@
+// Parallel scenario-sweep driver.
+//
+// Runs the figure/table scenario matrix (plus optional random scenarios)
+// through the sweep runner at increasing host-thread counts, checks that
+// the combined trace hash is identical at every count (parallelism must
+// not change behavior), and reports the scaling curve. Emits
+// BENCH_sweep.json with per-scenario results and per-thread-count wall
+// times so the perf trajectory is machine-readable.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/simkit/check.h"
+#include "src/tools/sweep/sweep.h"
+
+namespace wcores {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string threads_s, scale_s, random_s, seed_s;
+  BenchOptions opts = ParseBenchArgs(
+      argc, argv,
+      {
+          {"threads", &threads_s, "max host threads to sweep up to (default: hardware)"},
+          {"scale", &scale_s, "workload scale factor (default 0.25)"},
+          {"random", &random_s, "extra random scenarios to append (default 6)"},
+          {"seed", &seed_s, "seed for the random scenarios (default 99)"},
+      });
+  unsigned hw = std::thread::hardware_concurrency();
+  int max_threads = threads_s.empty() ? static_cast<int>(hw ? hw : 1) : std::stoi(threads_s);
+  if (max_threads < 1) {
+    max_threads = 1;
+  }
+  double scale = scale_s.empty() ? 0.25 : std::stod(scale_s);
+  int random_count = random_s.empty() ? 6 : std::stoi(random_s);
+  uint64_t seed = seed_s.empty() ? 99 : std::stoull(seed_s);
+
+  PrintHeader("Parallel scenario sweep", "§4 evaluation methodology (scenario matrix)");
+
+  std::vector<Scenario> scenarios = FigureScenarios(scale);
+  for (Scenario& s : RandomScenarios(seed, random_count)) {
+    scenarios.push_back(std::move(s));
+  }
+  std::printf("%zu scenarios, up to %d host threads (host has %u)\n\n", scenarios.size(),
+              max_threads, hw);
+
+  // Thread counts: 1, 2, 4, ... up to max_threads (always including both
+  // endpoints), so the 1→4 scaling factor is directly measurable.
+  std::vector<int> counts;
+  for (int t = 1; t < max_threads; t *= 2) {
+    counts.push_back(t);
+  }
+  counts.push_back(max_threads);
+
+  BenchReport report;
+  report.bench = "sweep";
+  report.context_num["host_cores"] = hw;
+  report.context_num["scenarios"] = static_cast<double>(scenarios.size());
+  report.context_num["scale"] = scale;
+
+  uint64_t reference_hash = 0;
+  double wall_1thread = 0;
+  SweepReport last;
+  for (size_t ci = 0; ci < counts.size(); ++ci) {
+    SweepOptions sweep_opts;
+    sweep_opts.threads = counts[ci];
+    SweepReport r = RunSweep(scenarios, sweep_opts);
+    if (ci == 0) {
+      reference_hash = r.CombinedHash();
+      wall_1thread = r.wall_ms;
+    } else {
+      // Parallelism must be invisible in the results.
+      WC_CHECK(r.CombinedHash() == reference_hash, "sweep results differ across thread counts");
+    }
+    double speedup = wall_1thread / (r.wall_ms > 0 ? r.wall_ms : 1e-9);
+    std::printf("threads=%2d  wall=%9.1f ms  speedup=%.2fx  events=%llu  hash=%016llx\n",
+                r.threads, r.wall_ms, speedup,
+                static_cast<unsigned long long>(r.TotalSimEvents()),
+                static_cast<unsigned long long>(r.CombinedHash()));
+    BenchReport::Row row;
+    row.name = "scaling/threads=" + std::to_string(r.threads);
+    row.metrics["threads"] = r.threads;
+    row.metrics["wall_ms"] = r.wall_ms;
+    row.metrics["speedup_vs_1"] = speedup;
+    report.rows.push_back(std::move(row));
+    last = std::move(r);
+  }
+
+  std::printf("\nper-scenario results (threads=%d):\n", last.threads);
+  double total_virtual = 0;
+  for (const ScenarioResult& r : last.results) {
+    total_virtual += r.virtual_seconds;
+    std::printf("  %-28s hash=%016llx events=%8llu switches=%7llu migr=%6llu %6.1f ms\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.trace_hash),
+                static_cast<unsigned long long>(r.sim_events),
+                static_cast<unsigned long long>(r.context_switches),
+                static_cast<unsigned long long>(r.migrations), r.wall_ms);
+    BenchReport::Row row;
+    row.name = r.name;
+    row.labels["trace_hash"] = [&] {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(r.trace_hash));
+      return std::string(buf);
+    }();
+    row.metrics["sim_events"] = static_cast<double>(r.sim_events);
+    row.metrics["context_switches"] = static_cast<double>(r.context_switches);
+    row.metrics["migrations"] = static_cast<double>(r.migrations);
+    row.metrics["virtual_s"] = r.virtual_seconds;
+    row.metrics["wall_ms"] = r.wall_ms;
+    for (const auto& [k, v] : r.metrics) {
+      row.metrics[k] = v;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  report.context_num["virtual_seconds_total"] = total_virtual;
+
+  report.Write(opts);
+  std::printf("\nwrote %s/BENCH_sweep.json\n", opts.out_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace wcores
+
+int main(int argc, char** argv) { return wcores::Main(argc, argv); }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: build and test the Release and ASan+UBSan configurations.
+#
+# The sanitizer run is what gives the determinism goldens and the randomized
+# invariant fuzzer their teeth: an optimization that corrupts memory or relies
+# on UB fails here even if its output happens to look right.
+#
+# Usage: scripts/ci.sh [extra ctest args...]
+#   e.g. scripts/ci.sh -R Determinism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+for preset in release asan-ubsan; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$JOBS" "$@"
+done
+
+echo "CI OK: release + asan-ubsan both green."

@@ -43,6 +43,7 @@ void CfsRunqueue::Enqueue(SchedEntity* se, Time now, EnqueueKind kind) {
   se->cpu = cpu_;
   tree_.Insert(se);
   total_weight_ += se->weight;
+  load_version_ += 1;
   UpdateMinVruntime();
 }
 
@@ -51,6 +52,7 @@ void CfsRunqueue::DequeueQueued(SchedEntity* se, Time now) {
   UpdateCurr(now);
   tree_.Erase(se);
   total_weight_ -= se->weight;
+  load_version_ += 1;
   se->on_rq = false;
   se->last_dequeued = now;
   UpdateMinVruntime();
@@ -99,6 +101,7 @@ void CfsRunqueue::PutCurr(Time now, PutKind kind) {
   } else {
     prev->on_rq = false;
     prev->last_dequeued = now;
+    load_version_ += 1;
     UpdateMinVruntime();
   }
 }
@@ -150,6 +153,32 @@ bool CfsRunqueue::CheckPreemptWakeup(const SchedEntity& woken, Time now) const {
   // granularity (kernel wakeup_preempt_entity).
   return curr_->vruntime > woken.vruntime &&
          curr_->vruntime - woken.vruntime > tunables_->wakeup_granularity;
+}
+
+bool CfsRunqueue::ValidateInvariants() const {
+  if (tree_.Validate() < 0) {
+    return false;
+  }
+  uint64_t weight = curr_ != nullptr ? curr_->weight : 0;
+  size_t count = 0;
+  const SchedEntity* prev = nullptr;
+  bool ok = true;
+  tree_.ForEach([&](const SchedEntity* se) {
+    weight += se->weight;
+    count += 1;
+    if (se->cpu != cpu_ || !se->on_rq || se->running) {
+      ok = false;
+    }
+    if (prev != nullptr && EntityByVruntime()(*se, *prev)) {
+      ok = false;  // In-order traversal out of order.
+    }
+    prev = se;
+    return true;
+  });
+  if (curr_ != nullptr && (!curr_->running || !curr_->on_rq || curr_->cpu != cpu_)) {
+    ok = false;
+  }
+  return ok && count == tree_.Size() && weight == total_weight_;
 }
 
 void CfsRunqueue::UpdateMinVruntime() {

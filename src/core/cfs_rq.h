@@ -108,6 +108,14 @@ class CfsRunqueue {
   // Total raw weight of all runnable entities (used for timeslices).
   uint64_t total_weight() const { return total_weight_; }
 
+  // Bumped whenever the set of runnable entities changes; RqLoad caching
+  // keys on it (see scheduler.cc).
+  uint64_t load_version() const { return load_version_; }
+
+  // Test support: red-black invariants, queued-entity bookkeeping
+  // (on_rq/running/cpu), vruntime ordering, and total_weight consistency.
+  bool ValidateInvariants() const;
+
  private:
   void UpdateMinVruntime();
 
@@ -117,6 +125,7 @@ class CfsRunqueue {
   SchedEntity* curr_ = nullptr;
   Time min_vruntime_ = 0;
   uint64_t total_weight_ = 0;
+  uint64_t load_version_ = 0;
 };
 
 }  // namespace wcores

@@ -51,10 +51,14 @@ void RbTreeBase::InsertAt(RbNode* node, RbNode* parent, RbNode** link) {
   node->red = true;
   node->linked = true;
   *link = node;
-  // Maintain the leftmost cache: the new node is leftmost iff it was linked
-  // as the left child of the previous leftmost (or the tree was empty).
+  // Maintain the boundary caches: the new node is leftmost iff it was linked
+  // as the left child of the previous leftmost (or the tree was empty), and
+  // symmetrically for rightmost.
   if (leftmost_ == nullptr || (parent == leftmost_ && link == &parent->left)) {
     leftmost_ = node;
+  }
+  if (rightmost_ == nullptr || (parent == rightmost_ && link == &parent->right)) {
+    rightmost_ = node;
   }
   ++size_;
   InsertFixup(node);
@@ -119,6 +123,9 @@ void RbTreeBase::Transplant(RbNode* u, RbNode* v) {
 void RbTreeBase::Erase(RbNode* z) {
   if (leftmost_ == z) {
     leftmost_ = Next(z);
+  }
+  if (rightmost_ == z) {
+    rightmost_ = Prev(z);
   }
 
   RbNode* y = z;
@@ -244,6 +251,22 @@ RbNode* RbTreeBase::Next(RbNode* node) {
   return parent;
 }
 
+RbNode* RbTreeBase::Prev(RbNode* node) {
+  if (node->left != nullptr) {
+    node = node->left;
+    while (node->right != nullptr) {
+      node = node->right;
+    }
+    return node;
+  }
+  RbNode* parent = node->parent;
+  while (parent != nullptr && node == parent->left) {
+    node = parent;
+    parent = parent->parent;
+  }
+  return parent;
+}
+
 int RbTreeBase::ValidateSubtree(const RbNode* node, bool parent_red) {
   if (node == nullptr) {
     return 0;  // Nil leaves are black; black height 0 by convention.
@@ -267,17 +290,24 @@ int RbTreeBase::ValidateSubtree(const RbNode* node, bool parent_red) {
 
 int RbTreeBase::Validate() const {
   if (root_ == nullptr) {
-    return leftmost_ == nullptr ? 0 : -1;
+    return (leftmost_ == nullptr && rightmost_ == nullptr) ? 0 : -1;
   }
   if (root_->red || root_->parent != nullptr) {
     return -1;
   }
-  // Leftmost cache must match the true minimum.
+  // Boundary caches must match the true minimum/maximum.
   const RbNode* min = root_;
   while (min->left != nullptr) {
     min = min->left;
   }
   if (min != leftmost_) {
+    return -1;
+  }
+  const RbNode* max = root_;
+  while (max->right != nullptr) {
+    max = max->right;
+  }
+  if (max != rightmost_) {
     return -1;
   }
   return ValidateSubtree(root_, false);

@@ -4,7 +4,12 @@
 //
 // The tree caches its leftmost node so that picking the next thread to run
 // (the one with the smallest vruntime) is O(1), like the kernel's
-// rb_leftmost cache.
+// rb_leftmost cache. It also caches the rightmost node; together the two
+// let Insert() short-circuit the descent for boundary keys — the common
+// case on a runqueue, where a preempted thread re-enqueues near the
+// minimum and long-running threads enqueue at the maximum. A hinted insert
+// links at exactly the position a full descent would choose, so the tree
+// shape (and thus every traversal) is bit-identical either way.
 //
 // Usage:
 //   struct Entity { uint64_t key; RbNode node; };
@@ -43,6 +48,7 @@ class RbTreeBase {
   bool Empty() const { return root_ == nullptr; }
   size_t Size() const { return size_; }
   RbNode* LeftmostNode() const { return leftmost_; }
+  RbNode* RightmostNode() const { return rightmost_; }
 
   // Links `node` as a child of `parent` at `*link` and rebalances.
   // `link` must be &parent->left or &parent->right (or &root_ when empty).
@@ -56,6 +62,9 @@ class RbTreeBase {
 
   // In-order successor, or nullptr.
   static RbNode* Next(RbNode* node);
+
+  // In-order predecessor, or nullptr.
+  static RbNode* Prev(RbNode* node);
 
   // Validates red-black invariants; returns black height, or -1 on violation.
   // Test-support only; O(n).
@@ -71,6 +80,7 @@ class RbTreeBase {
 
   RbNode* root_ = nullptr;
   RbNode* leftmost_ = nullptr;
+  RbNode* rightmost_ = nullptr;
   size_t size_ = 0;
 };
 
@@ -85,6 +95,22 @@ class RbTree {
   void Insert(T* item) {
     RbNode* node = &(item->*Member);
     assert(!node->linked && "node already in a tree");
+    // Boundary hints. An item below the minimum descends left at every
+    // node, so a full descent ends at leftmost->left; an item not below
+    // the maximum (Less is a strict weak order made total by the tid
+    // tiebreak) descends right at every node on the rightmost spine, so
+    // it ends at rightmost->right. Linking there directly is O(1) and
+    // produces the identical tree.
+    if (RbNode* leftmost = base_.LeftmostNode();
+        leftmost != nullptr && less_(*item, *FromNode(leftmost))) {
+      base_.InsertAt(node, leftmost, &leftmost->left);
+      return;
+    }
+    if (RbNode* rightmost = base_.RightmostNode();
+        rightmost != nullptr && !less_(*item, *FromNode(rightmost))) {
+      base_.InsertAt(node, rightmost, &rightmost->right);
+      return;
+    }
     RbNode** link = base_.mutable_root();
     RbNode* parent = nullptr;
     while (*link != nullptr) {
@@ -107,6 +133,12 @@ class RbTree {
   // Smallest element or nullptr.
   T* Leftmost() const {
     RbNode* node = base_.LeftmostNode();
+    return node != nullptr ? FromNode(node) : nullptr;
+  }
+
+  // Largest element or nullptr.
+  T* Rightmost() const {
+    RbNode* node = base_.RightmostNode();
     return node != nullptr ? FromNode(node) : nullptr;
   }
 

@@ -55,6 +55,26 @@ double Scheduler::AutogroupDivisor(AutogroupId id) const {
 }
 
 double Scheduler::RqLoad(Time now, CpuId cpu) const {
+  // Memoized exactly, so the cached value is bit-identical to a recompute:
+  // the key covers everything LoadAt reads. Membership changes bump
+  // rq.load_version(); divisor changes bump ag_epoch_; and a member
+  // tracker's SetState/Advance at the same instant leaves ValueAt(now)
+  // unchanged (decay only accrues across instants), so same (now, version,
+  // epoch) implies the same sum.
+  const Cpu& c = cpus_[cpu];
+  if (c.load_cache_now == now && c.load_cache_version == c.rq.load_version() &&
+      c.load_cache_epoch == ag_epoch_) {
+    return c.load_cache_value;
+  }
+  double load = RqLoadRecomputed(now, cpu);
+  c.load_cache_now = now;
+  c.load_cache_version = c.rq.load_version();
+  c.load_cache_epoch = ag_epoch_;
+  c.load_cache_value = load;
+  return load;
+}
+
+double Scheduler::RqLoadRecomputed(Time now, CpuId cpu) const {
   return cpus_[cpu].rq.LoadAt(now, [this](AutogroupId id) { return AutogroupDivisor(id); });
 }
 
@@ -132,6 +152,7 @@ ThreadId Scheduler::CreateThread(Time now, const ThreadParams& params) {
   se.load = LoadTracker(1.0);
   se.load.SetState(now, true);
   autogroups_[se.autogroup].nr_threads += 1;
+  ++ag_epoch_;
   stats_.forks += 1;
 
   // Fork placement: the parent's core when allowed (§3.2), otherwise the
@@ -164,6 +185,7 @@ void Scheduler::ExitCurrent(Time now, CpuId cpu) {
   c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
   se->load.SetState(now, false);
   autogroups_[se->autogroup].nr_threads -= 1;
+  ++ag_epoch_;
   stats_.exits += 1;
   UpdateIdleState(now, cpu);
   NotifyNrRunning(now, cpu);

@@ -128,6 +128,12 @@ class Scheduler {
   bool IsTickless(CpuId cpu) const { return cpus_[cpu].tickless; }
   ThreadId CurrentThread(CpuId cpu) const;
   double RqLoad(Time now, CpuId cpu) const;
+  // From-scratch recomputation bypassing the RqLoad memo cache; the fuzzer
+  // cross-checks the cached value against it.
+  double RqLoadRecomputed(Time now, CpuId cpu) const;
+  Time MinVruntime(CpuId cpu) const { return cpus_[cpu].rq.min_vruntime(); }
+  // Runqueue structural invariants (test support; see CfsRunqueue).
+  bool ValidateRq(CpuId cpu) const { return cpus_[cpu].rq.ValidateInvariants(); }
   const DomainTree& Domains(CpuId cpu) const { return cpus_[cpu].domains; }
   const SchedEntity& Entity(ThreadId tid) const { return entities_[tid]; }
   SchedEntity& MutableEntity(ThreadId tid) { return entities_[tid]; }
@@ -170,6 +176,15 @@ class Scheduler {
     // Last values reported to the trace sink (report-on-change).
     int last_nr_reported = -1;
     double last_load_reported = -1.0;
+
+    // RqLoad memo (see Scheduler::RqLoad): the last computed load, valid
+    // while the query instant, the runqueue membership version, and the
+    // autogroup epoch all still match. mutable because RqLoad is logically
+    // const.
+    mutable Time load_cache_now = kTimeNever;
+    mutable uint64_t load_cache_version = 0;
+    mutable uint64_t load_cache_epoch = 0;
+    mutable double load_cache_value = 0.0;
   };
 
   // Wakeup placement; fills `considered` for the visualization tool.
@@ -213,6 +228,9 @@ class Scheduler {
   CpuSet online_;
   std::deque<SchedEntity> entities_;  // Indexed by tid; stable addresses.
   std::vector<Autogroup> autogroups_;
+  // Advances whenever any autogroup's divisor may change (nr_threads
+  // mutation); part of the RqLoad memo key.
+  uint64_t ag_epoch_ = 0;
   SchedStats stats_;
 
   static TraceSink* NullSink();

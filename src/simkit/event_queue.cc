@@ -10,9 +10,22 @@ namespace wcores {
 
 EventHandle EventQueue::ScheduleAt(Time when, Callback fn) {
   WC_CHECK(when >= now_, "cannot schedule events in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  Push(Entry{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  uint64_t generation = slots_[slot].generation;
+  Push(Entry{when, next_seq_++, generation, slot, std::move(fn)});
+  return EventHandle(this, slot, generation);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  ++slots_[slot].generation;
+  free_slots_.push_back(slot);
 }
 
 void EventQueue::Push(Entry entry) {
@@ -26,8 +39,8 @@ void EventQueue::Pop() {
 }
 
 bool EventQueue::RunOne(Time until) {
-  // Skip cancelled entries.
-  while (!heap_.empty() && *heap_.front().cancelled) {
+  // Skip cancelled entries (their slot was already released on Cancel()).
+  while (!heap_.empty() && !EntryLive(heap_.front())) {
     Pop();
   }
   if (heap_.empty()) {
@@ -42,7 +55,7 @@ bool EventQueue::RunOne(Time until) {
   Entry entry = std::move(heap_.front());
   Pop();
   now_ = entry.when;
-  *entry.cancelled = true;  // Marks the handle non-pending once fired.
+  ReleaseSlot(entry.slot);  // Marks the handle non-pending once fired.
   ++executed_;
   entry.fn();
   return true;
@@ -53,7 +66,7 @@ bool EventQueue::Empty() const { return LiveCount() == 0; }
 size_t EventQueue::LiveCount() const {
   size_t n = 0;
   for (const auto& entry : heap_) {
-    if (!*entry.cancelled) {
+    if (EntryLive(entry)) {
       ++n;
     }
   }

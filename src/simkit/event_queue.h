@@ -9,12 +9,18 @@
 // cancellation marks the heap entry dead; dead entries are skipped on pop
 // (lazy deletion). This is how per-core tick timers and sleep timers are
 // retargeted without heap surgery.
+//
+// Cancellation state lives in a pooled slot table inside the queue rather
+// than in a per-event heap allocation: a handle is (queue, slot, generation)
+// and a heap entry is dead when its slot's generation has moved on. Slots
+// are recycled through a free list, so steady-state scheduling allocates
+// nothing. Handles must not outlive their queue (the simulator guarantees
+// this by declaring the queue before everything that stores handles).
 #ifndef SRC_SIMKIT_EVENT_QUEUE_H_
 #define SRC_SIMKIT_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "src/simkit/time.h"
@@ -23,28 +29,28 @@ namespace wcores {
 
 class EventQueue;
 
-// Shared cancellation token for a scheduled event.
+// Cancellation token for a scheduled event. Copyable; all copies observe the
+// same underlying slot. Invalidated (not dangling-safe) if the queue dies
+// first — see the lifetime note above.
 class EventHandle {
  public:
   EventHandle() = default;
 
   // True if the event has neither fired nor been cancelled.
-  bool Pending() const { return state_ && !*state_; }
+  bool Pending() const;
 
   // Cancel the event if still pending. Safe to call repeatedly or on a
   // default-constructed handle.
-  void Cancel() {
-    if (state_) {
-      *state_ = true;
-    }
-    state_.reset();
-  }
+  void Cancel();
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  EventHandle(EventQueue* queue, uint32_t slot, uint64_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
 
-  std::shared_ptr<bool> state_;
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint64_t generation_ = 0;
 };
 
 class EventQueue {
@@ -83,11 +89,14 @@ class EventQueue {
   uint64_t executed_count() const { return executed_; }
 
  private:
+  friend class EventHandle;
+
   struct Entry {
     Time when;
     uint64_t seq;
+    uint64_t generation;
+    uint32_t slot;
     Callback fn;
-    std::shared_ptr<bool> cancelled;
   };
 
   struct EntryLater {
@@ -99,14 +108,41 @@ class EventQueue {
     }
   };
 
+  bool EntryLive(const Entry& entry) const {
+    return slots_[entry.slot].generation == entry.generation;
+  }
+  bool SlotPending(uint32_t slot, uint64_t generation) const {
+    return slots_[slot].generation == generation;
+  }
+  void ReleaseSlot(uint32_t slot);
+
   void Push(Entry entry);
   void Pop();
 
+  struct Slot {
+    // Bumped on fire/cancel; an entry or handle whose generation no longer
+    // matches is dead. 64-bit so recycling can never wrap within a run.
+    uint64_t generation = 0;
+  };
+
   std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
 };
+
+inline bool EventHandle::Pending() const {
+  return queue_ != nullptr && queue_->SlotPending(slot_, generation_);
+}
+
+inline void EventHandle::Cancel() {
+  if (queue_ != nullptr && queue_->SlotPending(slot_, generation_)) {
+    queue_->ReleaseSlot(slot_);
+  }
+  queue_ = nullptr;
+}
 
 }  // namespace wcores
 

@@ -1,0 +1,80 @@
+#include "src/tools/sweep/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/tools/sweep/trace_hash.h"
+
+namespace wcores {
+
+uint64_t SweepReport::CombinedHash() const {
+  Fnv1a fnv;
+  for (const ScenarioResult& r : results) {
+    for (char c : r.name) {
+      fnv.Mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+    fnv.Mix(r.trace_hash);
+    fnv.Mix(r.trace_events);
+  }
+  return fnv.digest();
+}
+
+uint64_t SweepReport::TotalSimEvents() const {
+  uint64_t total = 0;
+  for (const ScenarioResult& r : results) {
+    total += r.sim_events;
+  }
+  return total;
+}
+
+SweepReport RunSweep(const std::vector<Scenario>& scenarios, const SweepOptions& options) {
+  SweepReport report;
+  report.results.resize(scenarios.size());
+
+  int threads = options.threads;
+  if (threads < 1) {
+    threads = 1;
+  }
+  if (threads > static_cast<int>(scenarios.size()) && !scenarios.empty()) {
+    threads = static_cast<int>(scenarios.size());
+  }
+  report.threads = threads;
+
+  auto wall_start = std::chrono::steady_clock::now();
+
+  // Work stealing by atomic cursor: whichever worker is free takes the next
+  // scenario. Results land in per-scenario slots, so the report does not
+  // depend on which worker ran what.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= scenarios.size()) {
+        return;
+      }
+      report.results[i] = RunScenario(scenarios[i]);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  auto wall_end = std::chrono::steady_clock::now();
+  report.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(wall_end - wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace wcores

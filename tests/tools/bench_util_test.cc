@@ -1,0 +1,107 @@
+// Tests for the shared bench flag parsing and the BENCH_*.json reporter.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/telemetry/chrome_trace.h"
+
+namespace wcores {
+namespace {
+
+// argv helper: gtest owns real argv, so fabricate one.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    for (std::string& s : strings) {
+      ptrs.push_back(s.data());
+    }
+  }
+  int argc() { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> strings;
+  std::vector<char*> ptrs;
+};
+
+TEST(BenchArgs, SharedFlags) {
+  Argv a({"bin", "--out=artifacts", "--telemetry"});
+  BenchOptions opts = ParseBenchArgs(a.argc(), a.argv());
+  EXPECT_EQ(opts.out_dir, "artifacts");
+  EXPECT_EQ(opts.telemetry_dir, "artifacts/telemetry");
+}
+
+TEST(BenchArgs, TelemetryExplicitDir) {
+  Argv a({"bin", "--telemetry=tdir"});
+  BenchOptions opts = ParseBenchArgs(a.argc(), a.argv());
+  EXPECT_EQ(opts.out_dir, "out");
+  EXPECT_EQ(opts.telemetry_dir, "tdir");
+}
+
+TEST(BenchArgs, ExtraFlagsParsed) {
+  std::string threads, scale;
+  Argv a({"bin", "--threads=4", "--out=o", "--scale=0.5"});
+  BenchOptions opts = ParseBenchArgs(a.argc(), a.argv(),
+                                     {{"threads", &threads, "worker threads"},
+                                      {"scale", &scale, "workload scale"}});
+  EXPECT_EQ(opts.out_dir, "o");
+  EXPECT_EQ(threads, "4");
+  EXPECT_EQ(scale, "0.5");
+}
+
+TEST(BenchArgsDeathTest, UnknownFlagIsHardError) {
+  Argv a({"bin", "--bogus=1"});
+  EXPECT_EXIT(ParseBenchArgs(a.argc(), a.argv()), ::testing::ExitedWithCode(2), "unknown argument");
+}
+
+TEST(BenchArgsDeathTest, ExtraFlagsListedInUsage) {
+  std::string threads;
+  Argv a({"bin", "--bogus=1"});
+  EXPECT_EXIT(ParseBenchArgs(a.argc(), a.argv(), {{"threads", &threads, "worker threads"}}),
+              ::testing::ExitedWithCode(2), "--threads=V");
+}
+
+TEST(BenchJson, EscapesStrings) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(BenchJson, NumbersRoundTrip) {
+  EXPECT_EQ(JsonNumber(4), "4");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  // A value %g cannot represent exactly falls back to %.17g.
+  double v = 1.0 / 3.0;
+  EXPECT_EQ(std::strtod(JsonNumber(v).c_str(), nullptr), v);
+}
+
+TEST(BenchJson, ReportIsValidJson) {
+  BenchReport report;
+  report.bench = "unit";
+  report.context["build"] = "test";
+  report.context_num["host_cores"] = 8;
+  BenchReport::Row row;
+  row.name = "case/one";
+  row.metrics["wall_ms"] = 12.5;
+  row.labels["hash"] = "00ff";
+  report.rows.push_back(row);
+  row.name = "case/two";
+  report.rows.push_back(row);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(report.ToJson(), &root, &error)) << error;
+  const JsonValue* bench = root.Find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str, "unit");
+  const JsonValue* results = root.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 2u);
+  const JsonValue* wall = results->array[0].Find("wall_ms");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->number, 12.5);
+  const JsonValue* ctx = root.Find("context");
+  ASSERT_NE(ctx, nullptr);
+  ASSERT_NE(ctx->Find("host_cores"), nullptr);
+  EXPECT_DOUBLE_EQ(ctx->Find("host_cores")->number, 8);
+}
+
+}  // namespace
+}  // namespace wcores
