@@ -175,6 +175,38 @@ void BM_PeriodicBalancePass(benchmark::State& state) {
 }
 BENCHMARK(BM_PeriodicBalancePass);
 
+// One NOHZ sweep: a kicked idle core runs balancing on behalf of all ~60
+// tickless idle cores of a 64-core machine while 4 cores hold pinned load.
+// Every idle core's top-level domain lists the same node groups, so this is
+// the sharing case the BalanceDomain group-stats memo targets; the
+// cache_hit_rate counter reports how much of the sweep it absorbs.
+void BM_NohzBalanceSweep(benchmark::State& state) {
+  Topology topo = Topology::Bulldozer8x8();
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(topo.n_cores()), &client);
+  Time now = 0;
+  for (CpuId c = 0; c < 4; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      ThreadParams params;
+      params.parent_cpu = c;
+      params.affinity = CpuSet::Single(c);  // Pinned: the imbalance persists.
+      sched.CreateThread(now, params);
+    }
+    sched.PickNext(now, c);
+  }
+  now = Milliseconds(10);
+  for (auto _ : state) {
+    sched.RunNohzBalance(now, 4);
+    now += Milliseconds(200);  // Always past every balance interval.
+  }
+  const SchedStats& st = sched.stats();
+  double lookups = static_cast<double>(st.balance_group_cache_hits + st.balance_group_cache_misses);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(st.balance_group_cache_hits) / lookups : 0.0;
+  state.SetLabel("64 cores, 60 idle, load pinned to 4");
+}
+BENCHMARK(BM_NohzBalanceSweep);
+
 // A full simulated second of a busy 64-core machine: events per second of
 // host time is the simulator's throughput metric.
 void BM_SimulatedSecond(benchmark::State& state) {

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# CI gate: build and test the Release and ASan+UBSan configurations.
+# CI gate, in three stages:
 #
-# The sanitizer run is what gives the determinism goldens and the randomized
-# invariant fuzzer their teeth: an optimization that corrupts memory or relies
-# on UB fails here even if its output happens to look right.
+#   1. lint    - build wc-lint and run it over src/ and bench/. Any
+#                error-severity finding or reason-less suppression fails the
+#                gate before we spend time on the build matrix.
+#   2. matrix  - build and test the Release and ASan+UBSan configurations.
+#                The sanitizer run is what gives the determinism goldens and
+#                the randomized invariant fuzzer their teeth: an optimization
+#                that corrupts memory or relies on UB fails here even if its
+#                output happens to look right.
+#   3. tsan    - build the TSan configuration and run the determinism layer
+#                (golden hashes + sweep thread-count invariance) under it, so
+#                the parallel sweep runner's "same report at -j1/-j2/-j4"
+#                claim is also a "no data races" claim.
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 #   e.g. scripts/ci.sh -R Determinism
@@ -11,6 +20,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==== [lint] build wc-lint ===="
+cmake --preset release
+cmake --build --preset release -j "$JOBS" --target wc-lint
+echo "==== [lint] wc-lint src bench ===="
+./build-release/src/tools/wc-lint src bench
 
 for preset in release asan-ubsan; do
   echo "==== [$preset] configure ===="
@@ -21,4 +36,13 @@ for preset in release asan-ubsan; do
   ctest --preset "$preset" -j "$JOBS" "$@"
 done
 
-echo "CI OK: release + asan-ubsan both green."
+echo "==== [tsan] configure ===="
+cmake --preset tsan
+echo "==== [tsan] build ===="
+cmake --build --preset tsan -j "$JOBS"
+echo "==== [tsan] test (Determinism.*) ===="
+# The test preset filters to the determinism layer: golden trace hashes plus
+# SweepThreadCountInvariance, which exercises RunSweep at 1/2/4 threads.
+ctest --preset tsan -j "$JOBS"
+
+echo "CI OK: lint + release + asan-ubsan + tsan all green."

@@ -43,7 +43,7 @@ void CfsRunqueue::Enqueue(SchedEntity* se, Time now, EnqueueKind kind) {
   se->cpu = cpu_;
   tree_.Insert(se);
   total_weight_ += se->weight;
-  load_version_ += 1;
+  BumpLoadVersion();
   UpdateMinVruntime();
 }
 
@@ -52,7 +52,7 @@ void CfsRunqueue::DequeueQueued(SchedEntity* se, Time now) {
   UpdateCurr(now);
   tree_.Erase(se);
   total_weight_ -= se->weight;
-  load_version_ += 1;
+  BumpLoadVersion();
   se->on_rq = false;
   se->last_dequeued = now;
   UpdateMinVruntime();
@@ -101,7 +101,7 @@ void CfsRunqueue::PutCurr(Time now, PutKind kind) {
   } else {
     prev->on_rq = false;
     prev->last_dequeued = now;
-    load_version_ += 1;
+    BumpLoadVersion();
     UpdateMinVruntime();
   }
 }

@@ -19,7 +19,11 @@ namespace wcores {
 
 class CfsRunqueue {
  public:
-  CfsRunqueue(CpuId cpu, const SchedTunables* tunables) : cpu_(cpu), tunables_(tunables) {}
+  // `shared_load_epoch`, when given, is bumped alongside load_version_ so an
+  // owner with many runqueues (the scheduler) can invalidate cross-runqueue
+  // caches in O(1) instead of summing per-queue versions.
+  CfsRunqueue(CpuId cpu, const SchedTunables* tunables, uint64_t* shared_load_epoch = nullptr)
+      : cpu_(cpu), tunables_(tunables), shared_load_epoch_(shared_load_epoch) {}
   CfsRunqueue(const CfsRunqueue&) = delete;
   CfsRunqueue& operator=(const CfsRunqueue&) = delete;
 
@@ -126,6 +130,14 @@ class CfsRunqueue {
   Time min_vruntime_ = 0;
   uint64_t total_weight_ = 0;
   uint64_t load_version_ = 0;
+  uint64_t* shared_load_epoch_ = nullptr;
+
+  void BumpLoadVersion() {
+    load_version_ += 1;
+    if (shared_load_epoch_ != nullptr) {
+      *shared_load_epoch_ += 1;
+    }
+  }
 };
 
 }  // namespace wcores

@@ -22,7 +22,7 @@ Scheduler::Scheduler(const Topology& topo, const SchedFeatures& features,
       trace_(trace != nullptr ? trace : NullSink()) {
   WC_CHECK(client_ != nullptr, "scheduler needs a client");
   for (CpuId c = 0; c < topo.n_cores(); ++c) {
-    cpus_.emplace_back(c, &tunables_);
+    cpus_.emplace_back(c, &tunables_, &balance_epoch_);
     online_.Set(c);
   }
   autogroups_.push_back(Autogroup{kRootAutogroup, 0});
@@ -363,6 +363,7 @@ void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
   if (c.online == online) {
     return;
   }
+  balance_epoch_ += 1;  // Group membership (n_cpus) is about to change.
   if (!online) {
     c.online = false;
     online_.Clear(cpu);

@@ -18,7 +18,9 @@
 #define SRC_CORE_SCHEDULER_H_
 
 #include <deque>
+#include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/core/autogroup.h"
@@ -131,6 +133,11 @@ class Scheduler {
   // From-scratch recomputation bypassing the RqLoad memo cache; the fuzzer
   // cross-checks the cached value against it.
   double RqLoadRecomputed(Time now, CpuId cpu) const;
+  // Every entry of the balancer's group-stats memo matches a from-scratch
+  // recomputation at `now` (vacuously true if the memo is stale, since a
+  // stale memo is flushed before reuse). Fuzzer cross-check, like
+  // RqLoadRecomputed for the RqLoad memo.
+  bool ValidateGroupCache(Time now) const;
   Time MinVruntime(CpuId cpu) const { return cpus_[cpu].rq.min_vruntime(); }
   // Runqueue structural invariants (test support; see CfsRunqueue).
   bool ValidateRq(CpuId cpu) const { return cpus_[cpu].rq.ValidateInvariants(); }
@@ -162,7 +169,8 @@ class Scheduler {
 
  private:
   struct Cpu {
-    explicit Cpu(CpuId id, const SchedTunables* tunables) : rq(id, tunables) {}
+    Cpu(CpuId id, const SchedTunables* tunables, uint64_t* shared_load_epoch)
+        : rq(id, tunables, shared_load_epoch) {}
 
     CfsRunqueue rq;
     bool online = true;
@@ -186,6 +194,35 @@ class Scheduler {
     mutable uint64_t load_cache_epoch = 0;
     mutable double load_cache_value = 0.0;
   };
+
+  // Aggregate load/occupancy of one scheduling group (Algorithm 1 lines
+  // 10-12): the inputs to busiest-group selection.
+  struct GroupLoadStats {
+    double sum_load = 0;
+    double min_load = std::numeric_limits<double>::infinity();
+    int n_cpus = 0;
+    int nr_running = 0;
+    bool imbalanced = false;
+
+    double AvgLoad() const { return n_cpus > 0 ? sum_load / n_cpus : 0.0; }
+    double MinLoad() const { return n_cpus > 0 ? min_load : 0.0; }
+    bool Overloaded() const { return nr_running > n_cpus; }
+
+    // Busiest-selection rank (line 13): overloaded groups first, then groups
+    // marked imbalanced by failed affinity moves, then the rest.
+    int Rank() const {
+      if (Overloaded()) {
+        return 2;
+      }
+      if (imbalanced) {
+        return 1;
+      }
+      return 0;
+    }
+  };
+
+  // The stats of `cpus` minus `excluded`, straight from the runqueues.
+  GroupLoadStats ComputeGroupStats(Time now, const CpuSet& cpus, const CpuSet& excluded) const;
 
   // Wakeup placement; fills `considered` for the visualization tool.
   CpuId SelectTaskRq(Time now, const SchedEntity& se, CpuId waker_cpu, CpuSet* considered);
@@ -231,6 +268,31 @@ class Scheduler {
   // Advances whenever any autogroup's divisor may change (nr_threads
   // mutation); part of the RqLoad memo key.
   uint64_t ag_epoch_ = 0;
+
+  // Advances whenever any input to GroupLoadStats other than (now, ag_epoch_)
+  // changes: any runqueue membership change (bumped by the runqueues through
+  // their shared_load_epoch pointer), any Cpu::imbalanced flip, and hotplug.
+  uint64_t balance_epoch_ = 0;
+
+  // Group-stats memo for BalanceDomain, mirroring the RqLoad memo one level
+  // up: groups with identical cpu sets recur across the domain trees of
+  // different cores (every top-level domain lists the same node groups), and
+  // NOHZ balancing walks many trees at one instant. Entries are valid only
+  // while all three key fields still match; BalanceDomain flushes the cache
+  // otherwise. Only stats of the full machine state are cached (balancing
+  // passes with a non-empty excluded set bypass the memo), and only for
+  // periodic/NOHZ balancing — newidle passes each run at a fresh instant
+  // after a load change, so caching them is pure insert cost. A flat vector
+  // with linear lookup, not a map: an instant holds at most a handful of
+  // distinct groups, and clear() keeps capacity so steady-state caching
+  // allocates nothing. mutable for symmetry with the RqLoad memo: filling a
+  // cache is logically const, and ValidateGroupCache reads it from const
+  // context.
+  mutable std::vector<std::pair<CpuSet, GroupLoadStats>> group_cache_;
+  mutable Time group_cache_now_ = kTimeNever;
+  mutable uint64_t group_cache_epoch_ = 0;
+  mutable uint64_t group_cache_ag_epoch_ = 0;
+
   SchedStats stats_;
 
   static TraceSink* NullSink();

@@ -2,40 +2,47 @@
 // balancing. The Group Imbalance bug/fix of §3.1 lives in the group metric.
 #include <algorithm>
 #include <cassert>
-#include <limits>
 #include <vector>
 
 #include "src/core/scheduler.h"
 
 namespace wcores {
 
-namespace {
-
-struct GroupStats {
-  double sum_load = 0;
-  double min_load = std::numeric_limits<double>::infinity();
-  int n_cpus = 0;
-  int nr_running = 0;
-  bool imbalanced = false;
-
-  double AvgLoad() const { return n_cpus > 0 ? sum_load / n_cpus : 0.0; }
-  double MinLoad() const { return n_cpus > 0 ? min_load : 0.0; }
-  bool Overloaded() const { return nr_running > n_cpus; }
-
-  // Busiest-selection rank (line 13): overloaded groups first, then groups
-  // marked imbalanced by failed affinity moves, then the rest.
-  int Rank() const {
-    if (Overloaded()) {
-      return 2;
+Scheduler::GroupLoadStats Scheduler::ComputeGroupStats(Time now, const CpuSet& cpus,
+                                                       const CpuSet& excluded) const {
+  GroupLoadStats gs;
+  for (CpuId c : cpus) {
+    if (!cpus_[c].online || excluded.Test(c)) {
+      continue;
     }
-    if (imbalanced) {
-      return 1;
-    }
-    return 0;
+    double load = RqLoad(now, c);
+    gs.sum_load += load;
+    gs.min_load = std::min(gs.min_load, load);
+    gs.n_cpus += 1;
+    gs.nr_running += cpus_[c].rq.nr_running();
+    gs.imbalanced = gs.imbalanced || cpus_[c].imbalanced;
   }
-};
+  return gs;
+}
 
-}  // namespace
+bool Scheduler::ValidateGroupCache(Time now) const {
+  if (group_cache_now_ != now || group_cache_epoch_ != balance_epoch_ ||
+      group_cache_ag_epoch_ != ag_epoch_) {
+    return true;  // Stale: BalanceDomain flushes before reuse.
+  }
+  for (const auto& [cpus, cached] : group_cache_) {
+    GroupLoadStats fresh = ComputeGroupStats(now, cpus, CpuSet{});
+    // Exact comparison on purpose: a memo must be bit-identical to the
+    // recomputation it stands in for, or the golden trace hashes drift.
+    // wc-lint: allow(D4 coherence check that the memo IS the recomputation, not a decision)
+    if (fresh.sum_load != cached.sum_load || fresh.min_load != cached.min_load ||
+        fresh.n_cpus != cached.n_cpus || fresh.nr_running != cached.nr_running ||
+        fresh.imbalanced != cached.imbalanced) {
+      return false;
+    }
+  }
+  return true;
+}
 
 int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKind kind) {
   stats_.balance_calls += 1;
@@ -44,7 +51,7 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
   // which lets one high-load thread conceal idle cores on its node — the
   // Group Imbalance bug. The fix compares the *minimum* loads: if some core
   // in another group is busier than every core in ours is idle-ish, steal.
-  auto metric = [&](const GroupStats& gs) {
+  auto metric = [&](const GroupLoadStats& gs) {
     return features_.fix_group_imbalance ? gs.MinLoad() : gs.AvgLoad();
   };
 
@@ -64,21 +71,68 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
     int excluded_at_pass_start = excluded.Count();
 
     // Lines 10-12: average (and minimum) load of every scheduling group.
-    std::vector<GroupStats> stats(sd.groups.size());
+    //
+    // Memoized across calls at the same instant: the first (no-exclusions)
+    // pass consults group_cache_, so when NOHZ balancing walks every idle
+    // core's domain tree, each distinct group cpu set — and top-level trees
+    // share all of theirs — is aggregated once instead of once per tree.
+    // Redo passes carry exclusions, which are per-call state, and recompute.
+    //
+    // Newidle balancing is deliberately NOT cached: each pass runs at its
+    // own event instant right after a context switch bumped balance_epoch_,
+    // so entries would be written once and never read — on fig2_make_r/fixed
+    // that is ~170k wasted inserts, a measured net slowdown. The uncached
+    // branch keeps the original fused aggregate-and-union loop so the hot
+    // newidle path carries zero cache bookkeeping.
+    const bool cacheable = excluded.Empty() && kind != ConsideredKind::kIdleBalance;
+    std::vector<GroupLoadStats> stats(sd.groups.size());
     CpuSet considered;
-    for (size_t g = 0; g < sd.groups.size(); ++g) {
-      for (CpuId c : sd.groups[g].cpus) {
-        if (!cpus_[c].online || excluded.Test(c)) {
+    if (!cacheable) {
+      for (size_t g = 0; g < sd.groups.size(); ++g) {
+        for (CpuId c : sd.groups[g].cpus) {
+          if (!cpus_[c].online || excluded.Test(c)) {
+            continue;
+          }
+          considered.Set(c);
+          double load = RqLoad(now, c);
+          GroupLoadStats& gs = stats[g];
+          gs.sum_load += load;
+          gs.min_load = std::min(gs.min_load, load);
+          gs.n_cpus += 1;
+          gs.nr_running += cpus_[c].rq.nr_running();
+          gs.imbalanced = gs.imbalanced || cpus_[c].imbalanced;
+        }
+      }
+    } else {
+      if (group_cache_now_ != now || group_cache_epoch_ != balance_epoch_ ||
+          group_cache_ag_epoch_ != ag_epoch_) {
+        group_cache_.clear();
+        group_cache_now_ = now;
+        group_cache_epoch_ = balance_epoch_;
+        group_cache_ag_epoch_ = ag_epoch_;
+      }
+      for (size_t g = 0; g < sd.groups.size(); ++g) {
+        const GroupLoadStats* hit = nullptr;
+        for (const auto& entry : group_cache_) {
+          if (entry.first == sd.groups[g].cpus) {
+            hit = &entry.second;
+            break;
+          }
+        }
+        if (hit != nullptr) {
+          stats[g] = *hit;
+          stats_.balance_group_cache_hits += 1;
           continue;
         }
-        considered.Set(c);
-        double load = RqLoad(now, c);
-        GroupStats& gs = stats[g];
-        gs.sum_load += load;
-        gs.min_load = std::min(gs.min_load, load);
-        gs.n_cpus += 1;
-        gs.nr_running += cpus_[c].rq.nr_running();
-        gs.imbalanced = gs.imbalanced || cpus_[c].imbalanced;
+        stats[g] = ComputeGroupStats(now, sd.groups[g].cpus, excluded);
+        group_cache_.emplace_back(sd.groups[g].cpus, stats[g]);
+        stats_.balance_group_cache_misses += 1;
+      }
+      // The cores examined: every online member of every group. (cacheable
+      // implies an empty excluded set, so cache hits above did not skip
+      // anything this union would have to re-add.)
+      for (const SchedGroup& grp : sd.groups) {
+        considered |= grp.cpus & online_;
       }
     }
     if (first_pass) {
@@ -145,7 +199,10 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
 
       int moved = MoveTasks(now, src, cpu, imbalance, force_min_one, reason);
       if (moved > 0) {
-        cpus_[src].imbalanced = false;
+        if (cpus_[src].imbalanced) {
+          cpus_[src].imbalanced = false;
+          balance_epoch_ += 1;
+        }
         stats_.balance_success += 1;
         stats_.balance_moved_tasks += static_cast<uint64_t>(moved);
         return moved;
@@ -153,8 +210,10 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
       // Lines 20-22: the busiest cpu's threads are pinned elsewhere; mark
       // the source imbalanced (so its group is favoured by cores that *can*
       // help) and retry with the next busiest cpu.
-      if (cpus_[src].rq.queued() >= 1 && !cpus_[src].rq.HasStealableFor(cpu)) {
+      if (cpus_[src].rq.queued() >= 1 && !cpus_[src].rq.HasStealableFor(cpu) &&
+          !cpus_[src].imbalanced) {
         cpus_[src].imbalanced = true;
+        balance_epoch_ += 1;
       }
       stats_.balance_affinity_retries += 1;
       excluded.Set(src);

@@ -148,6 +148,17 @@ class CpuSet {
 
   constexpr bool operator!=(const CpuSet& other) const { return !(*this == other); }
 
+  // Word-lexicographic total order, so a CpuSet can key an ordered container
+  // or be sorted deterministically. Not a subset relation.
+  constexpr bool operator<(const CpuSet& other) const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] != other.words_[i]) {
+        return words_[i] < other.words_[i];
+      }
+    }
+    return false;
+  }
+
   constexpr bool Intersects(const CpuSet& other) const {
     for (int i = 0; i < kWords; ++i) {
       if ((words_[i] & other.words_[i]) != 0) {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/simkit/time.h"
@@ -67,7 +68,11 @@ class EventQueue {
   EventHandle ScheduleAt(Time when, Callback fn);
 
   // Schedule `fn` to run `delay` from now.
-  EventHandle ScheduleAfter(Time delay, Callback fn) { return ScheduleAt(now_ + delay, fn); }
+  EventHandle ScheduleAfter(Time delay, Callback fn) {
+    // Move, don't copy: a std::function copy re-allocates any heap-stored
+    // closure, and this forwarder runs once per timer/sleep event.
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   // True if no live (non-cancelled) events remain. O(heap size).
   bool Empty() const;

@@ -40,7 +40,7 @@ class Logger {
   const Time* clock_ = nullptr;
 };
 
-#define WC_LOG(level, ...) ::wcores::Logger::Get().Log(level, __VA_ARGS__)
+#define WC_LOG(level, ...) ::wcores::Logger::Get().Log((level), __VA_ARGS__)
 #define WC_DEBUG(...) WC_LOG(::wcores::LogLevel::kDebug, __VA_ARGS__)
 #define WC_INFO(...) WC_LOG(::wcores::LogLevel::kInfo, __VA_ARGS__)
 #define WC_WARN(...) WC_LOG(::wcores::LogLevel::kWarn, __VA_ARGS__)

@@ -1,0 +1,327 @@
+#include "src/tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace wcores::lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Cursor over the source with line tracking.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+  bool Match(char c) {
+    if (Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view Slice(size_t from) const { return src_.substr(from, pos_ - from); }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// Raw-string literal prefixes, checked when an identifier is immediately
+// followed by a double quote.
+bool IsRawPrefix(std::string_view ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" || ident == "u8R";
+}
+// Ordinary string/char prefixes (u8"x", L'c', ...).
+bool IsStringPrefix(std::string_view ident) {
+  return ident == "L" || ident == "u" || ident == "U" || ident == "u8";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : cur_(src) {}
+
+  LexResult Run() {
+    while (!cur_.AtEnd()) {
+      LexOne();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void Emit(TokKind kind, size_t start, int line, bool is_float = false) {
+    result_.tokens.push_back(Token{kind, std::string(cur_.Slice(start)), line, is_float});
+  }
+
+  void Error(int line, const std::string& what) {
+    result_.errors.push_back("line " + std::to_string(line) + ": " + what);
+  }
+
+  void LexOne() {
+    char c = cur_.Peek();
+    if (c == '\n') {
+      at_line_start_ = true;
+      cur_.Advance();
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur_.Advance();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      LexPreproc();
+      return;
+    }
+    at_line_start_ = false;
+    if (c == '/' && (cur_.Peek(1) == '/' || cur_.Peek(1) == '*')) {
+      LexComment();
+      return;
+    }
+    if (IsIdentStart(c)) {
+      LexIdentOrPrefixedString();
+      return;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(cur_.Peek(1)))) {
+      LexNumber();
+      return;
+    }
+    if (c == '"') {
+      LexString('"');
+      return;
+    }
+    if (c == '\'') {
+      LexString('\'');
+      return;
+    }
+    LexPunct();
+  }
+
+  // A whole preprocessor logical line, backslash continuations included.
+  void LexPreproc() {
+    size_t start = cur_.pos();
+    int line = cur_.line();
+    while (!cur_.AtEnd()) {
+      char c = cur_.Peek();
+      if (c == '\\' && cur_.Peek(1) == '\n') {
+        cur_.Advance();
+        cur_.Advance();
+        continue;
+      }
+      if (c == '\n') {
+        break;
+      }
+      cur_.Advance();
+    }
+    Emit(TokKind::kPreproc, start, line);
+    at_line_start_ = true;
+  }
+
+  void LexComment() {
+    size_t start = cur_.pos();
+    int line = cur_.line();
+    cur_.Advance();  // '/'
+    if (cur_.Advance() == '/') {
+      while (!cur_.AtEnd() && cur_.Peek() != '\n') {
+        cur_.Advance();
+      }
+    } else {
+      bool closed = false;
+      while (!cur_.AtEnd()) {
+        if (cur_.Peek() == '*' && cur_.Peek(1) == '/') {
+          cur_.Advance();
+          cur_.Advance();
+          closed = true;
+          break;
+        }
+        cur_.Advance();
+      }
+      if (!closed) {
+        Error(line, "unterminated block comment");
+      }
+    }
+    Emit(TokKind::kComment, start, line);
+  }
+
+  void LexIdentOrPrefixedString() {
+    size_t start = cur_.pos();
+    int line = cur_.line();
+    while (IsIdentCont(cur_.Peek())) {
+      cur_.Advance();
+    }
+    std::string_view ident = cur_.Slice(start);
+    if (cur_.Peek() == '"' && IsRawPrefix(ident)) {
+      LexRawStringBody(start, line);
+      return;
+    }
+    if ((cur_.Peek() == '"' || cur_.Peek() == '\'') && IsStringPrefix(ident)) {
+      LexStringBody(start, line, cur_.Peek());
+      return;
+    }
+    Emit(TokKind::kIdent, start, line);
+  }
+
+  void LexString(char quote) { LexStringBody(cur_.pos(), cur_.line(), quote); }
+
+  void LexStringBody(size_t start, int line, char quote) {
+    cur_.Advance();  // opening quote
+    bool closed = false;
+    while (!cur_.AtEnd()) {
+      char c = cur_.Peek();
+      if (c == '\\' && cur_.Peek(1) != '\0') {
+        cur_.Advance();
+        cur_.Advance();
+        continue;
+      }
+      if (c == '\n') {
+        break;  // Unterminated on this line; don't swallow the file.
+      }
+      cur_.Advance();
+      if (c == quote) {
+        closed = true;
+        break;
+      }
+    }
+    if (!closed) {
+      Error(line, "unterminated literal");
+    }
+    Emit(TokKind::kString, start, line);
+  }
+
+  // R"delim( ... )delim" — no escapes inside, may span lines.
+  void LexRawStringBody(size_t start, int line) {
+    cur_.Advance();  // '"'
+    std::string delim;
+    while (!cur_.AtEnd() && cur_.Peek() != '(' && cur_.Peek() != '\n') {
+      delim.push_back(cur_.Advance());
+    }
+    if (!cur_.Match('(')) {
+      Error(line, "malformed raw string delimiter");
+      Emit(TokKind::kString, start, line);
+      return;
+    }
+    std::string closer = ")" + delim + "\"";
+    size_t matched = 0;
+    bool closed = false;
+    while (!cur_.AtEnd()) {
+      char c = cur_.Advance();
+      matched = (c == closer[matched]) ? matched + 1 : (c == closer[0] ? 1 : 0);
+      if (matched == closer.size()) {
+        closed = true;
+        break;
+      }
+    }
+    if (!closed) {
+      Error(line, "unterminated raw string");
+    }
+    Emit(TokKind::kString, start, line);
+  }
+
+  // C++ pp-number: [.]digit then [alnum _ . '] with +/- allowed after an
+  // exponent letter. Also classifies floats for the D4 heuristic.
+  void LexNumber() {
+    size_t start = cur_.pos();
+    int line = cur_.line();
+    bool hex = cur_.Peek() == '0' && (cur_.Peek(1) == 'x' || cur_.Peek(1) == 'X');
+    bool is_float = false;
+    while (!cur_.AtEnd()) {
+      char c = cur_.Peek();
+      if (c == '.') {
+        is_float = true;
+        cur_.Advance();
+        continue;
+      }
+      if ((c == 'e' || c == 'E') && !hex && (cur_.Peek(1) == '+' || cur_.Peek(1) == '-')) {
+        is_float = true;
+        cur_.Advance();
+        cur_.Advance();
+        continue;
+      }
+      if ((c == 'p' || c == 'P') && hex) {
+        is_float = true;
+        cur_.Advance();
+        if (cur_.Peek() == '+' || cur_.Peek() == '-') {
+          cur_.Advance();
+        }
+        continue;
+      }
+      if (c == '\'' && IsIdentCont(cur_.Peek(1))) {  // digit separator
+        cur_.Advance();
+        continue;
+      }
+      if (IsIdentCont(c)) {
+        // A decimal float exponent without a sign (1e9) lands here too.
+        if ((c == 'e' || c == 'E') && !hex) {
+          is_float = true;
+        }
+        cur_.Advance();
+        continue;
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, start, line, is_float);
+  }
+
+  void LexPunct() {
+    static constexpr std::string_view kThree[] = {"<<=", ">>=", "...", "->*"};
+    static constexpr std::string_view kTwo[] = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                                                "||", "<<", ">>", "+=", "-=", "*=", "/=",
+                                                "%=", "&=", "|=", "^=", "++", "--"};
+    size_t start = cur_.pos();
+    int line = cur_.line();
+    char a = cur_.Peek(0);
+    char b = cur_.Peek(1);
+    char c = cur_.Peek(2);
+    std::string three{a, b, c};
+    std::string two{a, b};
+    bool took = false;
+    for (std::string_view t : kThree) {
+      if (three == t) {
+        cur_.Advance();
+        cur_.Advance();
+        cur_.Advance();
+        took = true;
+        break;
+      }
+    }
+    if (!took) {
+      for (std::string_view t : kTwo) {
+        if (two == t) {
+          cur_.Advance();
+          cur_.Advance();
+          took = true;
+          break;
+        }
+      }
+    }
+    if (!took) {
+      cur_.Advance();
+    }
+    Emit(TokKind::kPunct, start, line);
+  }
+
+  Cursor cur_;
+  LexResult result_;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace wcores::lint

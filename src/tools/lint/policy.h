@@ -1,0 +1,58 @@
+// Per-directory severity policy for wc-lint rules.
+//
+// A `.wc-lint.policy` file in a directory applies to every source file in it
+// and below. Policies nest: the chain is built from the lint root down to the
+// file's directory, and the innermost file that mentions a rule wins. Within
+// one file, later lines override earlier ones.
+//
+// Grammar (one directive per line, '#' starts a comment):
+//
+//   RULE  error|warn|off  [basename-glob]
+//
+// The optional glob (with '*' wildcards, matched against the file's basename)
+// scopes a directive to specific files — that is how "designated hot-path
+// files" are expressed for D5, e.g.:
+//
+//   D5 warn event_queue.h
+#ifndef SRC_TOOLS_LINT_POLICY_H_
+#define SRC_TOOLS_LINT_POLICY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wcores::lint {
+
+enum class Severity { kOff, kWarn, kError };
+
+const char* SeverityName(Severity s);
+
+struct PolicyDirective {
+  std::string rule;
+  Severity severity = Severity::kOff;
+  std::string file_glob;  // Empty = all files.
+};
+
+struct Policy {
+  std::vector<PolicyDirective> directives;
+  std::vector<std::string> errors;  // Parse diagnostics, "line N: ...".
+};
+
+// Parses policy text. Unknown severities and malformed lines are reported in
+// `errors` and skipped; the rest of the file still applies.
+Policy ParsePolicy(std::string_view text);
+
+// '*'-only glob match against a file basename.
+bool GlobMatch(std::string_view glob, std::string_view name);
+
+// Severity for each rule id, for a file named `basename`, under the policy
+// chain `outer_to_inner` (front = lint root, back = file's own directory).
+// Rules not mentioned anywhere fall back to `defaults`.
+std::map<std::string, Severity> ResolveSeverities(
+    const std::vector<const Policy*>& outer_to_inner,
+    const std::map<std::string, Severity>& defaults, const std::string& basename);
+
+}  // namespace wcores::lint
+
+#endif  // SRC_TOOLS_LINT_POLICY_H_

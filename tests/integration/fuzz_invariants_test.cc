@@ -146,6 +146,11 @@ class InvariantChecker {
           << "cpu " << cpu << " cached load diverged from recomputation at t=" << now;
     }
 
+    // Balancer group-stats memo coherence: every cached aggregate matches a
+    // from-scratch recomputation (the RqLoad cross-check, one level up).
+    ASSERT_TRUE(sched.ValidateGroupCache(now))
+        << "group-stats memo diverged from recomputation at t=" << now;
+
     // Sanity-checker parity with an independent scan.
     bool expect_violation = false;
     for (CpuId idle : sched.OnlineCpus()) {

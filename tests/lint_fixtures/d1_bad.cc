@@ -1,0 +1,11 @@
+// D1 fixture: pointer-valued keys in ordered containers. Not compiled —
+// lint input only.
+#include <map>
+#include <set>
+
+struct Thread;
+
+std::map<Thread*, int> runnable_by_thread;          // bad: T* key
+std::set<const Thread*> blocked;                    // bad: const T* key
+std::multimap<Thread**, int> double_indirection;    // bad: T** key
+std::map<int, std::set<Thread*>> nested_value_key;  // bad: inner set keys by pointer

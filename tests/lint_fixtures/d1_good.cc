@@ -1,0 +1,22 @@
+// D1 fixture: ordered containers with deterministic keys, plus shapes that
+// must not trip the template scanner. Not compiled — lint input only.
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+struct Thread;
+
+std::map<int, Thread*> by_tid;                         // pointer VALUE is fine
+std::set<std::string> names;
+std::map<std::pair<int, int>, Thread*> by_cpu_and_id;  // pointer only in value
+std::multiset<long> timestamps;
+
+int set_like_variable(int set, int x) {
+  // `set` as a variable in a comparison followed by multiplication must not
+  // parse as a template with a pointer key.
+  return set < x * 2 ? set : x;
+}
+
+const char* not_code = "std::map<Thread*, int> inside a string literal";
+// std::map<Thread*, int> inside a comment

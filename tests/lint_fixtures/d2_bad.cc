@@ -1,0 +1,8 @@
+// D2 fixture: unordered containers in trace-affecting code. Not compiled —
+// lint input only.
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, double> load_by_cpu;  // bad: hash-order iteration
+std::unordered_set<int> woken;                // bad
+std::unordered_multimap<int, int> edges;      // bad

@@ -1,0 +1,12 @@
+// D2 fixture: deterministic containers. Not compiled — lint input only.
+#include <map>
+#include <set>
+#include <vector>
+
+std::map<int, double> load_by_cpu;
+std::set<int> woken;
+std::vector<int> sorted_edges;
+
+// mylib::unordered_map is some other library's type, not std's (fixtures
+// are lint input, not compiled, so the missing declaration is fine).
+mylib::unordered_map<int, int> shim;

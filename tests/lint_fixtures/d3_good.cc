@@ -1,0 +1,28 @@
+// D3 fixture: the deterministic seams that must NOT be flagged. Not
+// compiled — lint input only.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(uint64_t seed);
+  uint64_t Next();
+};
+
+struct Sim {
+  uint64_t time() const;   // member named `time` is not ::time()
+  uint64_t clock() const;  // member named `clock` is not ::clock()
+};
+
+using Time = uint64_t;
+
+uint64_t draw(Rng& rng) { return rng.Next(); }        // seeded Rng is the seam
+uint64_t now_of(const Sim& sim) { return sim.time(); }  // member call
+uint64_t clk(const Sim* sim) { return sim->clock(); }   // member call
+Time time_declaration() {
+  Time time(0);  // declaration of a variable named `time`, not a call
+  return time;
+}
+
+namespace mylib {
+int rand();
+}
+int foreign() { return mylib::rand(); }  // another library's rand

@@ -1,0 +1,7 @@
+// D4 fixture: exact float equality in decision code. Not compiled — lint
+// input only.
+bool at_unit_load(double load) { return load == 1.0; }      // bad
+bool not_half(double frac) { return 0.5 != frac; }          // bad: literal on the left
+bool unset(double v) { return v == -1.0; }                  // bad: negated literal
+bool fancy(float x) { return x != 2.5f; }                   // bad: float suffix
+bool sci(double x) { return x == 1e-9; }                    // bad: exponent literal

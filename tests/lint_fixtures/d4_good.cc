@@ -1,0 +1,7 @@
+// D4 fixture: decisions that are fine. Not compiled — lint input only.
+#include <cmath>
+
+bool at_count(int n) { return n == 1; }  // integer equality
+bool near_unit(double load) { return std::abs(load - 1.0) < 1e-9; }  // epsilon
+bool ordered(double a, double b) { return a < b; }  // inequality, not equality
+double pick(double x) { return x == x ? x : 0.0; }  // no literal operand (type-blind)

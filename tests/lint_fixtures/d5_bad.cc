@@ -1,0 +1,9 @@
+// D5 fixture: type-erased callbacks in a designated hot-path file. Not
+// compiled — lint input only.
+#include <functional>
+
+struct Event {
+  std::function<void()> callback;  // tracked: indirect call + possible alloc
+};
+
+void enqueue(std::function<void(int)> cb);  // tracked

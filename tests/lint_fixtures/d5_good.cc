@@ -1,0 +1,15 @@
+// D5 fixture: callback shapes without type erasure. Not compiled — lint
+// input only.
+struct Event {
+  void (*callback)(void* ctx);  // plain function pointer
+  void* ctx;
+};
+
+template <class Fn>
+void enqueue(Fn&& fn);  // compile-time callable
+
+namespace mylib {
+template <class T>
+struct function {};
+}  // namespace mylib
+mylib::function<void()> foreign;  // not std::function

@@ -1,0 +1,8 @@
+// Suppression-grammar fixture: annotations that are themselves findings.
+// Not compiled — lint input only.
+#include <cstdlib>
+
+int a = rand();  // wc-lint: allow(D3)
+int b = rand();  // wc-lint: allow(D3   )
+int c = rand();  // wc-lint: allow()
+int d = rand();  // wc-lint: allow(D3 unterminated

@@ -1,0 +1,19 @@
+// Suppression fixture: valid allow() annotations in both positions. Not
+// compiled — lint input only.
+#include <chrono>
+#include <cstdlib>
+
+// Trailing annotation: same line as the finding.
+auto wall = std::chrono::steady_clock::now();  // wc-lint: allow(D3 measuring host wall time)
+
+// Leading annotation: the line above the finding.
+// wc-lint: allow(D3 benchmark warmup entropy is outside the trace)
+int warmup = rand();
+
+// A suppression for one rule must not silence another:
+// wc-lint: allow(D4 exact sentinel compare)
+auto t = std::chrono::steady_clock::now();  // still a D3 finding
+
+bool sentinel(double v) {
+  return v == -1.0;  // wc-lint: allow(D4 exact sentinel value, never computed)
+}

@@ -112,6 +112,24 @@ TEST(CpuSetTest, EqualityOperators) {
   EXPECT_NE(a, b);
 }
 
+TEST(CpuSetTest, LessThanIsAStrictTotalOrder) {
+  // Word-lexicographic: the first differing 64-bit word decides, so the
+  // order is total (usable as a map key) but not numeric or subset-based.
+  CpuSet empty;
+  CpuSet low = CpuSet::Single(0);
+  CpuSet high = CpuSet::Single(200);  // Word 0 is zero; word 3 holds the bit.
+  EXPECT_TRUE(empty < low);
+  EXPECT_TRUE(empty < high);
+  EXPECT_TRUE(high < low);  // low's word 0 (1) exceeds high's word 0 (0).
+  EXPECT_FALSE(low < low);
+  EXPECT_FALSE(low < empty);
+  // Distinct sets compare in exactly one direction.
+  CpuSet a = CpuSet::FirstN(3);
+  CpuSet b = CpuSet::Single(2);
+  EXPECT_NE(a < b, b < a);
+  EXPECT_TRUE((a < b) || (b < a));
+}
+
 TEST(CpuSetTest, CompoundAssignment) {
   CpuSet a = CpuSet::FirstN(4);
   CpuSet b = CpuSet::Single(10);

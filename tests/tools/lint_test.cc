@@ -1,0 +1,229 @@
+// wc-lint tests: lexer unit tests, policy parsing/resolution, suppression
+// semantics, and the golden-diagnostics run over tests/lint_fixtures/.
+//
+// To regenerate the golden after an intentional rule/message change, run
+// lint_test and copy the "actual" block it prints into
+// tests/lint_fixtures/expected.txt (or see scripts/ci.sh for the wc-lint
+// invocation over the real tree).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/tools/lint/lexer.h"
+#include "src/tools/lint/policy.h"
+#include "src/tools/lint/rules.h"
+
+namespace wcores::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---- Lexer ---------------------------------------------------------------
+
+std::vector<Token> CodeTokens(std::string_view src) {
+  std::vector<Token> out;
+  for (Token& t : Lex(src).tokens) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kPreproc) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+TEST(LintLexer, CommentsAndStringsAreOpaque) {
+  auto toks = CodeTokens("int x; // std::map<T*, int>\n\"std::rand()\" /* rand() */ 'r'");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[2].text, ";");
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[4].kind, TokKind::kString);  // char literal
+}
+
+TEST(LintLexer, RawStringSwallowsFakeDelimiters) {
+  auto toks = CodeTokens("auto s = R\"x(rand() \" )y\" )x\"; rand");
+  // R"x( ... )x" is one string token; the trailing `rand` identifier remains.
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks.back().text, "rand");
+}
+
+TEST(LintLexer, PreprocessorLinesWithContinuation) {
+  auto lexed = Lex("#define RND() \\\n  rand()\nint y;");
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens[0].kind, TokKind::kPreproc);
+  // The macro body, continuation included, lives inside the preproc token.
+  EXPECT_NE(lexed.tokens[0].text.find("rand"), std::string::npos);
+  EXPECT_EQ(lexed.tokens[1].text, "int");
+  EXPECT_EQ(lexed.tokens[1].line, 3);
+}
+
+TEST(LintLexer, NumberClassification) {
+  auto toks = CodeTokens("1 0x1f 1.5 1e9 1e-9 0x1.0p-53 1'000'000 2.5f");
+  ASSERT_EQ(toks.size(), 8u);
+  bool floats[] = {false, false, true, true, true, true, false, true};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, TokKind::kNumber) << i;
+    EXPECT_EQ(toks[i].is_float, floats[i]) << toks[i].text;
+  }
+}
+
+TEST(LintLexer, UnterminatedLiteralIsReportedNotFatal) {
+  auto lexed = Lex("const char* s = \"oops\nint next;");
+  EXPECT_FALSE(lexed.errors.empty());
+  // Lexing continues on the following line.
+  bool saw_next = false;
+  for (const Token& t : lexed.tokens) {
+    saw_next = saw_next || t.text == "next";
+  }
+  EXPECT_TRUE(saw_next);
+}
+
+// ---- Policy --------------------------------------------------------------
+
+TEST(LintPolicy, ParseAndErrors) {
+  Policy p = ParsePolicy(
+      "# comment\n"
+      "D1 error\n"
+      "D5 warn event_queue.h\n"
+      "D2 banana\n"
+      "D3\n"
+      "D4 off *.h extra\n");
+  ASSERT_EQ(p.directives.size(), 2u);
+  EXPECT_EQ(p.directives[0].rule, "D1");
+  EXPECT_EQ(p.directives[0].severity, Severity::kError);
+  EXPECT_EQ(p.directives[1].file_glob, "event_queue.h");
+  ASSERT_EQ(p.errors.size(), 3u);  // banana, missing severity, trailing junk
+}
+
+TEST(LintPolicy, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("*", "anything.cc"));
+  EXPECT_TRUE(GlobMatch("*.h", "scheduler.h"));
+  EXPECT_FALSE(GlobMatch("*.h", "scheduler.cc"));
+  EXPECT_TRUE(GlobMatch("event_queue.h", "event_queue.h"));
+  EXPECT_TRUE(GlobMatch("sim*.cc", "simulator.cc"));
+  EXPECT_FALSE(GlobMatch("sim*.cc", "scheduler.cc"));
+  EXPECT_TRUE(GlobMatch("*_test.cc", "lint_test.cc"));
+}
+
+TEST(LintPolicy, InnerPolicyWinsAndGlobScopes) {
+  Policy outer = ParsePolicy("D2 off\nD3 warn\n");
+  Policy inner = ParsePolicy("D3 error\nD5 warn simulator.h\n");
+  std::map<std::string, Severity> defaults = {{"D1", Severity::kError},
+                                              {"D5", Severity::kOff}};
+  auto sim = ResolveSeverities({&outer, &inner}, defaults, "simulator.h");
+  EXPECT_EQ(sim.at("D1"), Severity::kError);  // default survives
+  EXPECT_EQ(sim.at("D2"), Severity::kOff);    // outer only
+  EXPECT_EQ(sim.at("D3"), Severity::kError);  // inner overrides outer
+  EXPECT_EQ(sim.at("D5"), Severity::kWarn);   // glob matched
+  auto other = ResolveSeverities({&outer, &inner}, defaults, "scheduler.cc");
+  EXPECT_EQ(other.at("D5"), Severity::kOff);  // glob did not match
+}
+
+// ---- Rule/suppression semantics on inline snippets -----------------------
+
+std::map<std::string, Severity> AllError() {
+  std::map<std::string, Severity> sev;
+  for (const RuleInfo& r : RuleCatalog()) {
+    sev[r.id] = Severity::kError;
+  }
+  return sev;
+}
+
+int CountRule(const FileLintResult& r, const std::string& rule, bool suppressed) {
+  int n = 0;
+  for (const Finding& f : r.findings) {
+    n += (f.rule == rule && f.suppressed == suppressed) ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(LintRules, SuppressionCoversSameAndNextLineOnly) {
+  std::string src =
+      "// wc-lint" ": allow(D3 covers the next line)\n"
+      "int a = rand();\n"
+      "int b = rand();\n";  // Two lines below the annotation: not covered.
+  FileLintResult r = LintSource("snippet.cc", src, AllError());
+  EXPECT_EQ(CountRule(r, "D3", /*suppressed=*/true), 1);
+  EXPECT_EQ(CountRule(r, "D3", /*suppressed=*/false), 1);
+  EXPECT_EQ(r.errors, 1);
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(LintRules, OffRuleEmitsNothing) {
+  std::map<std::string, Severity> sev = AllError();
+  sev["D3"] = Severity::kOff;
+  FileLintResult r = LintSource("snippet.cc", "int a = rand();\n", sev);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintRules, WarnDoesNotCountAsError) {
+  std::map<std::string, Severity> sev = AllError();
+  sev["D5"] = Severity::kWarn;
+  FileLintResult r =
+      LintSource("snippet.cc", "#include <functional>\nstd::function<void()> cb;\n", sev);
+  EXPECT_EQ(r.errors, 0);
+  EXPECT_EQ(r.warnings, 1);
+}
+
+TEST(LintRules, TemplateScannerHandlesNestedClose) {
+  // The >> closing both templates must not leave the scanner confused about
+  // the *next* map's key.
+  std::string src =
+      "#include <map>\n"
+      "std::map<int, std::map<int, int>> ok;\n"
+      "std::map<Thread*, int> bad;\n";
+  FileLintResult r = LintSource("snippet.cc", src, AllError());
+  EXPECT_EQ(CountRule(r, "D1", /*suppressed=*/false), 1);
+}
+
+// ---- Golden corpus -------------------------------------------------------
+
+TEST(LintGolden, FixtureCorpus) {
+  fs::path dir = WC_LINT_FIXTURE_DIR;
+  Policy policy = ParsePolicy(ReadFileOrDie(dir / ".wc-lint.policy"));
+  ASSERT_TRUE(policy.errors.empty());
+
+  std::vector<fs::path> fixtures;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".cc") {
+      fixtures.push_back(e.path());
+    }
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  ASSERT_GE(fixtures.size(), 12u) << "fixture corpus shrank";
+
+  std::string actual;
+  for (const fs::path& f : fixtures) {
+    std::string base = f.filename().string();
+    auto sev = ResolveSeverities({&policy}, /*defaults=*/{}, base);
+    FileLintResult r = LintSource(base, ReadFileOrDie(f), sev);
+    actual += "== " + base + "\n";
+    for (const Finding& fi : r.findings) {
+      actual += FormatFinding(fi) + "\n";
+    }
+    actual += "-- errors=" + std::to_string(r.errors) +
+              " warnings=" + std::to_string(r.warnings) +
+              " suppressed=" + std::to_string(r.suppressed) + "\n";
+  }
+
+  std::string expected = ReadFileOrDie(dir / "expected.txt");
+  EXPECT_EQ(expected, actual) << "----- actual (copy into expected.txt if intentional) -----\n"
+                              << actual;
+}
+
+}  // namespace
+}  // namespace wcores::lint
