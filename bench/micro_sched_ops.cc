@@ -3,7 +3,9 @@
 // (host) time with google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/gbench_json.h"
@@ -12,6 +14,7 @@
 #include "src/core/rbtree.h"
 #include "src/core/scheduler.h"
 #include "src/sim/simulator.h"
+#include "src/simkit/event_queue.h"
 #include "src/topo/topology.h"
 
 namespace wcores {
@@ -151,6 +154,38 @@ void BM_WakeupPlacement(benchmark::State& state) {
 }
 BENCHMARK(BM_WakeupPlacement);
 
+// The wakeup-placement scan the incremental idle index replaces: the
+// longest-idle cpu over the full affinity mask, at 8 and 64 cores with the
+// machine mostly busy (10% idle — the overloaded case every wake hits) and
+// mostly idle (90%).
+void BM_LongestIdleCpu(benchmark::State& state) {
+  const int n_cores = static_cast<int>(state.range(0));
+  const int idle_pct = static_cast<int>(state.range(1));
+  Topology topo = n_cores == 8 ? Topology::Flat(2, 4) : Topology::Bulldozer8x8();
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(n_cores), &client);
+  const int n_idle = std::max(1, n_cores * idle_pct / 100);
+  std::vector<bool> keep_idle(static_cast<size_t>(n_cores), false);
+  for (int i = 0; i < n_idle; ++i) {
+    keep_idle[static_cast<size_t>(i * n_cores / n_idle)] = true;  // Spread over nodes.
+  }
+  for (CpuId c = 0; c < n_cores; ++c) {
+    if (keep_idle[static_cast<size_t>(c)]) {
+      continue;
+    }
+    ThreadParams params;
+    params.parent_cpu = c;
+    params.affinity = CpuSet::Single(c);  // Pinned: stays busy.
+    sched.CreateThread(0, params);
+  }
+  CpuSet allowed = topo.AllCpus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.LongestIdleCpu(allowed));
+  }
+  state.SetLabel(std::to_string(n_cores) + " cores, " + std::to_string(idle_pct) + "% idle");
+}
+BENCHMARK(BM_LongestIdleCpu)->Args({8, 10})->Args({8, 90})->Args({64, 10})->Args({64, 90});
+
 // One full periodic-balance pass over all domains of one core on a machine
 // with 10 runnable threads per core.
 void BM_PeriodicBalancePass(benchmark::State& state) {
@@ -206,6 +241,23 @@ void BM_NohzBalanceSweep(benchmark::State& state) {
   state.SetLabel("64 cores, 60 idle, load pinned to 4");
 }
 BENCHMARK(BM_NohzBalanceSweep);
+
+// One schedule+fire round-trip through the event queue: the per-event
+// floor of everything the simulator does. This is the dispatch cost the
+// InlineCallback rewrite targets (slot alloc + heap push + pop + invoke,
+// no type-erasure allocation).
+void BM_EventDispatch(benchmark::State& state) {
+  EventQueue q;
+  uint64_t fired = 0;
+  uint64_t* p = &fired;
+  for (auto _ : state) {
+    q.ScheduleAfter(1, [p] { ++*p; });
+    q.RunOne();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(fired));
+}
+BENCHMARK(BM_EventDispatch);
 
 // A full simulated second of a busy 64-core machine: events per second of
 // host time is the simulator's throughput metric.

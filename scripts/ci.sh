@@ -13,6 +13,11 @@
 #                (golden hashes + sweep thread-count invariance) under it, so
 #                the parallel sweep runner's "same report at -j1/-j2/-j4"
 #                claim is also a "no data races" claim.
+#   4. bench   - smoke-run the Release bench binaries with a tiny budget
+#                (one benchmark repetition, a scaled-down sweep) into out/,
+#                so the perf harness itself cannot bit-rot between perf PRs.
+#                Numbers from this stage are meaningless; only exit status
+#                and JSON emission matter.
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 #   e.g. scripts/ci.sh -R Determinism
@@ -45,4 +50,14 @@ echo "==== [tsan] test (Determinism.*) ===="
 # SweepThreadCountInvariance, which exercises RunSweep at 1/2/4 threads.
 ctest --preset tsan -j "$JOBS"
 
-echo "CI OK: lint + release + asan-ubsan + tsan all green."
+echo "==== [bench] smoke (tiny budget, Release) ===="
+SMOKE_OUT="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_OUT"' EXIT
+# The system google-benchmark predates the "0.001s" suffix syntax; pass a
+# bare double.
+./build-release/bench/micro_sched_ops --out="$SMOKE_OUT" --benchmark_min_time=0.001
+./build-release/bench/sweep_driver --out="$SMOKE_OUT" --threads=1 --scale=0.02 --random=1
+test -s "$SMOKE_OUT/BENCH_micro_sched_ops.json"
+test -s "$SMOKE_OUT/BENCH_sweep.json"
+
+echo "CI OK: lint + release + asan-ubsan + tsan + bench smoke all green."

@@ -95,24 +95,39 @@ class RbTree {
   void Insert(T* item) {
     RbNode* node = &(item->*Member);
     assert(!node->linked && "node already in a tree");
-    // Boundary hints. An item below the minimum descends left at every
-    // node, so a full descent ends at leftmost->left; an item not below
-    // the maximum (Less is a strict weak order made total by the tid
-    // tiebreak) descends right at every node on the rightmost spine, so
-    // it ends at rightmost->right. Linking there directly is O(1) and
-    // produces the identical tree.
-    if (RbNode* leftmost = base_.LeftmostNode();
-        leftmost != nullptr && less_(*item, *FromNode(leftmost))) {
-      base_.InsertAt(node, leftmost, &leftmost->left);
+    RbNode* root = base_.root();
+    if (root == nullptr) {
+      base_.InsertAt(node, nullptr, base_.mutable_root());
       return;
     }
-    if (RbNode* rightmost = base_.RightmostNode();
-        rightmost != nullptr && !less_(*item, *FromNode(rightmost))) {
-      base_.InsertAt(node, rightmost, &rightmost->right);
-      return;
+    // Single descent with a folded boundary hint. The first comparison —
+    // against the root, which a full descent performs anyway — decides
+    // which boundary is still reachable: an item below the root can never
+    // sit at-or-above the maximum, and one at-or-above the root can never
+    // sit below the minimum. Only that one hint is then checked, so an
+    // interior insert pays one hint comparison instead of two pre-checks.
+    // The hints link where a full descent would end: an item below the
+    // minimum descends left at every node, ending at leftmost->left; an
+    // item not below the maximum (Less is a strict weak order made total
+    // by the tid tiebreak) descends right along the rightmost spine,
+    // ending at rightmost->right. Tree shape is bit-identical either way.
+    RbNode* parent = root;
+    RbNode** link;
+    if (less_(*item, *FromNode(root))) {
+      RbNode* leftmost = base_.LeftmostNode();
+      if (less_(*item, *FromNode(leftmost))) {
+        base_.InsertAt(node, leftmost, &leftmost->left);
+        return;
+      }
+      link = &root->left;
+    } else {
+      RbNode* rightmost = base_.RightmostNode();
+      if (!less_(*item, *FromNode(rightmost))) {
+        base_.InsertAt(node, rightmost, &rightmost->right);
+        return;
+      }
+      link = &root->right;
     }
-    RbNode** link = base_.mutable_root();
-    RbNode* parent = nullptr;
     while (*link != nullptr) {
       parent = *link;
       if (less_(*item, *FromNode(parent))) {

@@ -35,9 +35,12 @@ Scheduler::Scheduler(const Topology& topo, const SchedFeatures& features,
   opts.cross_node_levels = true;
   opts.base_balance_interval = tunables_.base_balance_interval;
   auto trees = BuildDomains(*topo_, online_, opts);
+  idle_head_.assign(static_cast<size_t>(topo.n_nodes()), kInvalidCpu);
+  idle_tail_.assign(static_cast<size_t>(topo.n_nodes()), kInvalidCpu);
   for (CpuId c = 0; c < topo.n_cores(); ++c) {
     cpus_[c].domains = std::move(trees[c]);
     cpus_[c].tickless = true;
+    IdleIndexInsert(c);  // All cpus boot idle since t=0.
   }
 }
 
@@ -112,29 +115,118 @@ void Scheduler::UpdateIdleState(Time now, CpuId cpu) {
     if (!c.tickless) {
       c.idle_since = now;
       c.tickless = true;
+      if (c.online) {
+        IdleIndexInsert(cpu);
+      }
       trace_->OnIdleEnter(now, cpu);
     }
   } else {
     if (c.tickless) {
       trace_->OnIdleExit(now, cpu, now - c.idle_since);
+      if (c.online) {
+        IdleIndexRemove(cpu);
+      }
     }
     c.tickless = false;
   }
 }
 
+void Scheduler::IdleIndexInsert(CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  NodeId node = topo_->NodeOf(cpu);
+  // A cpu going idle at the current instant carries the largest
+  // (idle_since, cpu) key of its node except for same-instant ties, so the
+  // backward walk from the tail almost always stops immediately.
+  CpuId after = idle_tail_[node];
+  while (after != kInvalidCpu &&
+         (cpus_[after].idle_since > c.idle_since ||
+          (cpus_[after].idle_since == c.idle_since && after > cpu))) {
+    after = cpus_[after].idle_prev;
+  }
+  c.idle_prev = after;
+  c.idle_next = after == kInvalidCpu ? idle_head_[node] : cpus_[after].idle_next;
+  if (c.idle_next != kInvalidCpu) {
+    cpus_[c.idle_next].idle_prev = cpu;
+  } else {
+    idle_tail_[node] = cpu;
+  }
+  if (after == kInvalidCpu) {
+    idle_head_[node] = cpu;
+  } else {
+    cpus_[after].idle_next = cpu;
+  }
+}
+
+void Scheduler::IdleIndexRemove(CpuId cpu) {
+  Cpu& c = cpus_[cpu];
+  NodeId node = topo_->NodeOf(cpu);
+  if (c.idle_prev != kInvalidCpu) {
+    cpus_[c.idle_prev].idle_next = c.idle_next;
+  } else {
+    idle_head_[node] = c.idle_next;
+  }
+  if (c.idle_next != kInvalidCpu) {
+    cpus_[c.idle_next].idle_prev = c.idle_prev;
+  } else {
+    idle_tail_[node] = c.idle_prev;
+  }
+  c.idle_prev = kInvalidCpu;
+  c.idle_next = kInvalidCpu;
+}
+
 CpuId Scheduler::LongestIdleCpu(const CpuSet& allowed) const {
+  // Each node list is sorted ascending by (idle_since, cpu), so its first
+  // allowed entry is the node minimum, and the minimum over node minima is
+  // the machine minimum — the same cpu the old full scan produced: lowest
+  // idle_since, ties to the lowest cpu id.
   CpuId best = kInvalidCpu;
   Time best_since = kTimeNever;
-  for (CpuId c : allowed & online_) {
-    if (!cpus_[c].rq.Idle()) {
-      continue;
-    }
-    if (cpus_[c].idle_since < best_since) {
-      best_since = cpus_[c].idle_since;
-      best = c;
+  for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
+    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = cpus_[c].idle_next) {
+      if (!allowed.Test(c)) {
+        continue;
+      }
+      Time since = cpus_[c].idle_since;
+      if (since < best_since || (since == best_since && c < best)) {
+        best_since = since;
+        best = c;
+      }
+      break;  // Later entries of this node can only have larger keys.
     }
   }
   return best;
+}
+
+bool Scheduler::ValidateIdleIndex() const {
+  std::vector<bool> in_index(cpus_.size(), false);
+  for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
+    CpuId prev = kInvalidCpu;
+    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = cpus_[c].idle_next) {
+      const Cpu& entry = cpus_[c];
+      if (topo_->NodeOf(c) != n || entry.idle_prev != prev) {
+        return false;
+      }
+      if (!entry.online || !entry.tickless || in_index[c]) {
+        return false;
+      }
+      if (prev != kInvalidCpu &&
+          (cpus_[prev].idle_since > entry.idle_since ||
+           (cpus_[prev].idle_since == entry.idle_since && prev > c))) {
+        return false;
+      }
+      in_index[c] = true;
+      prev = c;
+    }
+    if (idle_tail_[n] != prev) {
+      return false;
+    }
+  }
+  for (CpuId c = 0; c < static_cast<CpuId>(cpus_.size()); ++c) {
+    if (in_index[c] != (cpus_[c].online && cpus_[c].tickless)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool Scheduler::CanSteal(CpuId idle_cpu, CpuId busy_cpu) const {
@@ -365,6 +457,12 @@ void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
   }
   balance_epoch_ += 1;  // Group membership (n_cpus) is about to change.
   if (!online) {
+    // If the core sits idle in the index, drop it first: offline cpus are
+    // never listed (the evacuation below re-checks idle state with
+    // c.online already false, so it will not re-insert).
+    if (c.tickless) {
+      IdleIndexRemove(cpu);
+    }
     c.online = false;
     online_.Clear(cpu);
 
@@ -413,6 +511,7 @@ void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
     c.idle_since = now;
     c.tickless = true;
     c.need_resched = false;
+    IdleIndexInsert(cpu);
   }
   RebuildDomains();
 }

@@ -138,6 +138,10 @@ class Scheduler {
   // stale memo is flushed before reuse). Fuzzer cross-check, like
   // RqLoadRecomputed for the RqLoad memo.
   bool ValidateGroupCache(Time now) const;
+  // The per-node idle index is structurally sound and lists exactly the
+  // online tickless cpus, in (idle_since, cpu) order. Fuzzer cross-check,
+  // like ValidateGroupCache for the group-stats memo.
+  bool ValidateIdleIndex() const;
   Time MinVruntime(CpuId cpu) const { return cpus_[cpu].rq.min_vruntime(); }
   // Runqueue structural invariants (test support; see CfsRunqueue).
   bool ValidateRq(CpuId cpu) const { return cpus_[cpu].rq.ValidateInvariants(); }
@@ -178,6 +182,9 @@ class Scheduler {
     bool tickless = false;    // Idle and not receiving ticks.
     Time idle_since = 0;      // Valid while rq.Idle().
     bool imbalanced = false;  // A steal from this rq failed on affinity.
+    // Intrusive links of the per-node idle index (see idle_head_ below).
+    CpuId idle_prev = kInvalidCpu;
+    CpuId idle_next = kInvalidCpu;
     Time last_nohz_kick = 0;
     DomainTree domains;
 
@@ -249,6 +256,11 @@ class Scheduler {
 
   void EnqueueWake(Time now, SchedEntity* se, CpuId cpu);
   void UpdateIdleState(Time now, CpuId cpu);
+  // Idle-index maintenance. Insert keeps the node list sorted by
+  // (idle_since, cpu); callers uphold the invariant "in the index iff
+  // online && tickless".
+  void IdleIndexInsert(CpuId cpu);
+  void IdleIndexRemove(CpuId cpu);
   void RebuildDomains();
   CpuId FirstAllowedOnline(const CpuSet& affinity) const;
   void NotifyNrRunning(Time now, CpuId cpu);
@@ -263,6 +275,20 @@ class Scheduler {
 
   std::deque<Cpu> cpus_;  // deque: Cpu is neither copyable nor movable.
   CpuSet online_;
+
+  // Incremental idle-CPU index: one intrusive doubly-linked list per NUMA
+  // node (links in Cpu::idle_prev/idle_next), sorted ascending by
+  // (idle_since, cpu) — the same total order the old linear scan minimized —
+  // holding exactly the online tickless cpus. LongestIdleCpu walks each
+  // node's list to its first allowed entry instead of scanning the whole
+  // machine; every wakeup on a mostly-busy machine goes from O(cpus) to
+  // O(nodes + idle). Maintained in UpdateIdleState and hotplug; inserts walk
+  // back from the tail, which is O(1) in practice because a cpu going idle
+  // *now* has the largest key of its node. The fuzzer audits membership and
+  // order against recomputation (ValidateIdleIndex).
+  std::vector<CpuId> idle_head_;
+  std::vector<CpuId> idle_tail_;
+
   std::deque<SchedEntity> entities_;  // Indexed by tid; stable addresses.
   std::vector<Autogroup> autogroups_;
   // Advances whenever any autogroup's divisor may change (nr_threads

@@ -69,9 +69,14 @@ CpuId Scheduler::SelectTaskRq(Time now, const SchedEntity& se, CpuId waker_cpu,
     }
     CpuId longest = LongestIdleCpu(allowed);
     if (longest != kInvalidCpu) {
-      for (CpuId c : allowed) {
-        if (cpus_[c].rq.Idle()) {
-          considered->Set(c);
+      // The trace records every allowed idle core as considered; walk the
+      // idle index (exactly the online idle cpus) instead of re-scanning
+      // the whole machine for them.
+      for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
+        for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = cpus_[c].idle_next) {
+          if (allowed.Test(c)) {
+            considered->Set(c);
+          }
         }
       }
       return longest;

@@ -72,7 +72,9 @@ class NumaLocalityModule : public WakePolicy {
 };
 
 // Spread load: suggest the longest-idle allowed core (the paper's
-// Overload-on-Wakeup fix, as a module).
+// Overload-on-Wakeup fix, as a module). Cheap to consult on every wake:
+// LongestIdleCpu reads the scheduler's incremental per-node idle index,
+// O(nodes) on a busy machine rather than a full-machine scan.
 class LoadSpreadModule : public WakePolicy {
  public:
   CpuId Suggest(const WakeContext& ctx) override {

@@ -75,9 +75,9 @@ SyncId Simulator::CreateEvent() {
   return static_cast<SyncId>(events_.size() - 1);
 }
 
-void Simulator::At(Time when, std::function<void()> fn) { queue_.ScheduleAt(when, std::move(fn)); }
+void Simulator::At(Time when, EventQueue::Callback fn) { queue_.ScheduleAt(when, std::move(fn)); }
 
-void Simulator::After(Time delay, std::function<void()> fn) {
+void Simulator::After(Time delay, EventQueue::Callback fn) {
   queue_.ScheduleAfter(delay, std::move(fn));
 }
 

@@ -15,7 +15,6 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -63,9 +62,11 @@ class Simulator : public SchedClient {
   SyncId CreateVar();
   SyncId CreateEvent();
 
-  // Schedules an arbitrary callback (workload generators, tools).
-  void At(Time when, std::function<void()> fn);
-  void After(Time delay, std::function<void()> fn);
+  // Schedules an arbitrary callback (workload generators, tools). Captures
+  // must fit InlineCallback's 16-byte inline buffer; point at out-of-line
+  // state for anything larger.
+  void At(Time when, EventQueue::Callback fn);
+  void After(Time delay, EventQueue::Callback fn);
 
   // CPU hotplug, the /proc interface of §3.4. Safely deschedules the
   // running thread before the scheduler evacuates the core.

@@ -10,6 +10,7 @@ namespace wcores {
 
 EventHandle EventQueue::ScheduleAt(Time when, Callback fn) {
   WC_CHECK(when >= now_, "cannot schedule events in the past");
+  WC_CHECK(static_cast<bool>(fn), "cannot schedule an empty callback");
   uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -28,13 +29,19 @@ void EventQueue::ReleaseSlot(uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
+// A plain binary heap. A 4-ary hole-sifting variant was measured ~4% slower
+// on whole-sim throughput: the pending-event set is small enough that the
+// extra per-level child comparisons outweigh the halved depth (see
+// EXPERIMENTS.md "Hot-path overhaul").
 void EventQueue::Push(Entry entry) {
   heap_.push_back(std::move(entry));
-  std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Entry& a, const Entry& b) { return Earlier(b, a); });
 }
 
 void EventQueue::Pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const Entry& a, const Entry& b) { return Earlier(b, a); });
   heap_.pop_back();
 }
 

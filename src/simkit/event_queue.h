@@ -20,10 +20,10 @@
 #define SRC_SIMKIT_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "src/simkit/inline_callback.h"
 #include "src/simkit/time.h"
 
 namespace wcores {
@@ -56,7 +56,7 @@ class EventHandle {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -69,8 +69,6 @@ class EventQueue {
 
   // Schedule `fn` to run `delay` from now.
   EventHandle ScheduleAfter(Time delay, Callback fn) {
-    // Move, don't copy: a std::function copy re-allocates any heap-stored
-    // closure, and this forwarder runs once per timer/sleep event.
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
@@ -104,14 +102,16 @@ class EventQueue {
     Callback fn;
   };
 
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+  // Strict total order on entries: (when, seq), seq unique per queue. The
+  // heap below may arrange equal-time entries any way it likes internally;
+  // extraction order — the only thing the simulation observes — is fixed by
+  // this order alone.
+  static bool Earlier(const Entry& a, const Entry& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
     }
-  };
+    return a.seq < b.seq;
+  }
 
   bool EntryLive(const Entry& entry) const {
     return slots_[entry.slot].generation == entry.generation;
@@ -130,6 +130,7 @@ class EventQueue {
     uint64_t generation = 0;
   };
 
+  // Binary min-heap ordered by Earlier().
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;

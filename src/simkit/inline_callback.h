@@ -1,0 +1,92 @@
+// Fixed-size inline-storage callback for the event hot path.
+//
+// Every event the simulator schedules captures at most two pointers (the
+// simulator plus a cpu or thread id), so the full generality of
+// std::function — heap fallback, copyability, RTTI hooks — is pure
+// overhead on the single hottest path in the codebase. InlineCallback
+// stores the callable in a 16-byte inline buffer, dispatches through one
+// raw function pointer, and refuses anything bigger at compile time: the
+// static_assert turns a would-be allocation into a build error at the
+// offending capture list.
+//
+// Restrictions, all deliberate:
+//  * captures must fit kCapacity bytes and kAlignment alignment;
+//  * the callable must be trivially copyable (moving is a memcpy, and no
+//    destructor ever needs to run — cancellation can drop entries freely);
+//  * move-only: accidental copies of pending events are a bug, not a cost.
+#ifndef SRC_SIMKIT_INLINE_CALLBACK_H_
+#define SRC_SIMKIT_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wcores {
+
+class InlineCallback {
+ public:
+  static constexpr size_t kCapacity = 16;
+  static constexpr size_t kAlignment = 16;
+
+  // Compile-time admission test, usable by callers that want to branch
+  // (e.g. tests probing the boundary) instead of hitting the static_assert.
+  template <typename F>
+  static constexpr bool CanHold() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kCapacity && alignof(D) <= kAlignment &&
+           std::is_trivially_copyable_v<D>;
+  }
+
+  InlineCallback() = default;
+
+  // Implicit on purpose: call sites pass lambdas to ScheduleAt/At exactly
+  // as they did with std::function.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= kCapacity,
+                  "event callback captures exceed InlineCallback::kCapacity; "
+                  "capture a pointer to out-of-line state instead");
+    static_assert(alignof(D) <= kAlignment,
+                  "event callback over-aligned for InlineCallback storage");
+    static_assert(std::is_trivially_copyable_v<D>,
+                  "event callbacks must be trivially copyable (no owning "
+                  "captures); keep owning state outside the event");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+    invoke_ = [](void* storage) {
+      (*std::launder(reinterpret_cast<D*>(storage)))();
+    };
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  // Trivial-copyability of the stored callable makes a move a plain byte
+  // copy; the source is emptied only so stale entries cannot double-fire.
+  InlineCallback(InlineCallback&& other) noexcept : invoke_(other.invoke_) {
+    std::memcpy(storage_, other.storage_, kCapacity);
+    other.invoke_ = nullptr;
+  }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      std::memcpy(storage_, other.storage_, kCapacity);
+      invoke_ = other.invoke_;
+      other.invoke_ = nullptr;
+    }
+    return *this;
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  alignas(kAlignment) unsigned char storage_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_SIMKIT_INLINE_CALLBACK_H_

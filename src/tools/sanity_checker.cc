@@ -1,6 +1,7 @@
 #include "src/tools/sanity_checker.h"
 
 #include <cstdio>
+#include <utility>
 
 namespace wcores {
 
@@ -49,14 +50,19 @@ void SanityChecker::RunCheck() {
     candidates_ += 1;
     // Begin the M-window monitoring phase before deciding it is a bug.
     Time detected = sim_->Now();
-    SchedStats before = sim_->sched().stats();
-    sim_->At(detected + options_.confirmation_window,
-             [this, idle_cpu, detected, before] { Confirm(idle_cpu, detected, before); });
+    pending_.push_back(PendingConfirmation{idle_cpu, detected, sim_->sched().stats()});
+    sim_->At(detected + options_.confirmation_window, [this] { ConfirmHead(); });
   }
   ScheduleNext();
 }
 
-void SanityChecker::Confirm(CpuId idle_cpu, Time detected_at, SchedStats stats_before) {
+void SanityChecker::ConfirmHead() {
+  PendingConfirmation p = std::move(pending_.front());
+  pending_.pop_front();
+  Confirm(p.idle_cpu, p.detected_at, p.stats_before);
+}
+
+void SanityChecker::Confirm(CpuId idle_cpu, Time detected_at, const SchedStats& stats_before) {
   const Scheduler& sched = sim_->sched();
   // The violation is "promptly fixed" if the idle core got work meanwhile
   // (its idle period no longer spans the detection) or no overloaded core

@@ -15,6 +15,7 @@
 #define SRC_TOOLS_SANITY_CHECKER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -79,14 +80,27 @@ class SanityChecker {
   static std::string Report(const Violation& v);
 
  private:
+  // A candidate awaiting the end of its M-window. Kept out-of-line (FIFO
+  // deque) so the confirmation event captures only `this`: SchedStats is far
+  // larger than InlineCallback's inline buffer. Confirmation events fire in
+  // detection order (same fixed window offset), so popping the front is
+  // always the right entry.
+  struct PendingConfirmation {
+    CpuId idle_cpu;
+    Time detected_at;
+    SchedStats stats_before;
+  };
+
   void ScheduleNext();
   void RunCheck();
-  void Confirm(CpuId idle_cpu, Time detected_at, SchedStats stats_before);
+  void Confirm(CpuId idle_cpu, Time detected_at, const SchedStats& stats_before);
+  void ConfirmHead();
 
   Simulator* sim_;
   Options options_;
   uint64_t checks_run_ = 0;
   uint64_t candidates_ = 0;
+  std::deque<PendingConfirmation> pending_;
   std::vector<Violation> violations_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/tools/sweep/scenario.h"
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <utility>
 

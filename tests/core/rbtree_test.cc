@@ -221,5 +221,110 @@ TEST(RbTreeTest, DrainInSortedOrder) {
   }
 }
 
+// ---- Tree-shape proof for the hinted insert ---------------------------------
+//
+// RbTree::Insert folds a boundary hint into its descent (one root
+// comparison routes to the only reachable hint). The optimization claims
+// to link every item at exactly the position a hint-free full descent
+// would choose — which makes the resulting tree, and therefore every
+// traversal and every pick, bit-identical. Prove it: mirror a mixed
+// insert/erase workload into a reference tree driven by a textbook
+// full-descent insert over the same RbTreeBase machinery, and require
+// structurally equal trees (links and colors) at every step.
+
+struct RefItem {
+  uint64_t key = 0;
+  int id = 0;
+  RbNode node;
+};
+
+RefItem* RefFromNode(RbNode* node) {
+  return reinterpret_cast<RefItem*>(reinterpret_cast<char*>(node) -
+                                    offsetof(RefItem, node));
+}
+
+void FullDescentInsert(RbTreeBase& base, RefItem* item) {
+  RbNode** link = base.mutable_root();
+  RbNode* parent = nullptr;
+  while (*link != nullptr) {
+    parent = *link;
+    const RefItem* at = RefFromNode(parent);
+    bool less = item->key != at->key ? item->key < at->key : item->id < at->id;
+    link = less ? &parent->left : &parent->right;
+  }
+  base.InsertAt(&item->node, parent, link);
+}
+
+// The root of the production tree, reached by walking up from its minimum
+// (RbTree does not expose its base).
+RbNode* RootOf(Tree& tree) {
+  Item* leftmost = tree.Leftmost();
+  if (leftmost == nullptr) {
+    return nullptr;
+  }
+  RbNode* n = &leftmost->node;
+  while (n->parent != nullptr) {
+    n = n->parent;
+  }
+  return n;
+}
+
+bool SameShape(RbNode* a, RbNode* b) {
+  if (a == nullptr || b == nullptr) {
+    return a == b;
+  }
+  const Item* ia = reinterpret_cast<Item*>(reinterpret_cast<char*>(a) -
+                                           offsetof(Item, node));
+  const RefItem* ib = RefFromNode(b);
+  if (ia->key != ib->key || ia->id != ib->id || a->red != b->red) {
+    return false;
+  }
+  return SameShape(a->left, b->left) && SameShape(a->right, b->right);
+}
+
+TEST(RbTreeTest, HintedInsertMatchesFullDescentShape) {
+  const int n = 512;
+  Tree tree;
+  RbTreeBase ref;
+  std::vector<Item> items(n);
+  std::vector<RefItem> ref_items(n);
+  Rng rng(9);
+  std::vector<int> live;
+  for (int i = 0; i < n; ++i) {
+    // Mix boundary and interior keys, with duplicates: i%4==0 below every
+    // prior key (leftmost hint), i%4==1 above (rightmost hint), else
+    // interior, every eighth a duplicate of an earlier key.
+    uint64_t key;
+    if (i % 4 == 0) {
+      key = 1000000 - static_cast<uint64_t>(i);
+    } else if (i % 4 == 1) {
+      key = 2000000 + static_cast<uint64_t>(i);
+    } else if (i % 8 == 2 && !live.empty()) {
+      key = items[live[rng.Next() % live.size()]].key;
+    } else {
+      key = 1500000 + rng.Next() % 1000;
+    }
+    items[i].key = key;
+    items[i].id = i;
+    ref_items[i].key = key;
+    ref_items[i].id = i;
+    tree.Insert(&items[i]);
+    FullDescentInsert(ref, &ref_items[i]);
+    live.push_back(i);
+    // Interleave erases so the boundary caches are exercised after
+    // arbitrary surgery, not just on a growing tree.
+    if (i % 3 == 2) {
+      size_t pick = rng.Next() % live.size();
+      int victim = live[pick];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      tree.Erase(&items[victim]);
+      ref.Erase(&ref_items[victim].node);
+    }
+    ASSERT_TRUE(SameShape(RootOf(tree), ref.root()))
+        << "hinted insert diverged from full descent at step " << i;
+    ASSERT_GE(tree.Validate(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace wcores

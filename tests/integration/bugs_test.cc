@@ -59,10 +59,12 @@ TEST(GroupImbalanceBugTest, StockLeavesCoresIdleWhileOthersOverloaded) {
   // two or more runnable make threads it could steal.
   int idle_with_overload = 0;
   for (Time t = Milliseconds(60); t <= Milliseconds(300); t += Milliseconds(20)) {
-    sim.At(t, [&] {
+    // Two reference captures keep the callback within InlineCallback's
+    // inline buffer; the topology is reachable through the simulator.
+    sim.At(t, [&sim, &idle_with_overload] {
       bool any_idle = false;
       bool any_overloaded = false;
-      for (CpuId c = 0; c < topo.n_cores(); ++c) {
+      for (CpuId c = 0; c < sim.topo().n_cores(); ++c) {
         int nr = sim.sched().NrRunning(c);
         any_idle = any_idle || nr == 0;
         any_overloaded = any_overloaded || nr >= 2;
@@ -134,8 +136,8 @@ TEST(GroupConstructionBugTest, StockKeepsThreadsOnOneNode) {
   wl.Setup();
   int node2_busy_samples = 0;
   for (Time t = Milliseconds(100); t <= Milliseconds(500); t += Milliseconds(50)) {
-    sim.At(t, [&] {
-      for (CpuId c : topo.CpusOfNode(2)) {
+    sim.At(t, [&sim, &node2_busy_samples] {
+      for (CpuId c : sim.topo().CpusOfNode(2)) {
         if (sim.sched().NrRunning(c) > 0) {
           ++node2_busy_samples;
           return;
@@ -252,7 +254,8 @@ TEST(MissingDomainsBugTest, ThreadsStayOnSpawnNode) {
   wl.Setup();
   int off_node_samples = 0;
   for (Time t = Milliseconds(100); t <= Milliseconds(400); t += Milliseconds(50)) {
-    sim.At(t, [&] {
+    sim.At(t, [&sim, &off_node_samples] {
+      const Topology& topo = sim.topo();
       for (CpuId c = 0; c < topo.n_cores(); ++c) {
         if (topo.NodeOf(c) != 1 && sim.sched().NrRunning(c) > 0) {
           ++off_node_samples;
@@ -282,7 +285,8 @@ TEST(MissingDomainsBugTest, FixRestoresCrossNodeBalancing) {
   wl.Setup();
   int off_node_samples = 0;
   for (Time t = Milliseconds(100); t <= Milliseconds(400); t += Milliseconds(50)) {
-    sim.At(t, [&] {
+    sim.At(t, [&sim, &off_node_samples] {
+      const Topology& topo = sim.topo();
       for (CpuId c = 0; c < topo.n_cores(); ++c) {
         if (topo.NodeOf(c) != 1 && sim.sched().NrRunning(c) > 0) {
           ++off_node_samples;

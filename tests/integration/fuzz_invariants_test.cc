@@ -151,6 +151,25 @@ class InvariantChecker {
     ASSERT_TRUE(sched.ValidateGroupCache(now))
         << "group-stats memo diverged from recomputation at t=" << now;
 
+    // Idle-index coherence: structure (per-node order, link symmetry,
+    // membership == online && tickless) and the answer itself — the indexed
+    // LongestIdleCpu must match a fresh linear scan with the original
+    // tie-break (lowest idle_since, then lowest cpu).
+    ASSERT_TRUE(sched.ValidateIdleIndex()) << "idle index diverged at t=" << now;
+    CpuId scan_best = kInvalidCpu;
+    Time scan_since = kTimeNever;
+    for (CpuId cpu = 0; cpu < n_cores; ++cpu) {
+      if (!sched.IsOnline(cpu) || !sched.IsIdleCpu(cpu)) {
+        continue;
+      }
+      if (sched.IdleSince(cpu) < scan_since) {
+        scan_since = sched.IdleSince(cpu);
+        scan_best = cpu;
+      }
+    }
+    ASSERT_EQ(sched.LongestIdleCpu(sim_->topo().AllCpus()), scan_best)
+        << "indexed LongestIdleCpu disagrees with linear scan at t=" << now;
+
     // Sanity-checker parity with an independent scan.
     bool expect_violation = false;
     for (CpuId idle : sched.OnlineCpus()) {
@@ -189,6 +208,21 @@ class InvariantChecker {
   int violations_seen_ = 0;
 };
 
+// Re-arming check callback: one sweep every kCheckInterval until the
+// horizon. A named struct (two pointers, trivially copyable) rather than a
+// lambda because it reschedules *itself* — a std::function-free event queue
+// cannot store a callable that owns another callable.
+struct RearmingCheck {
+  InvariantChecker* checker;
+  Simulator* sim;
+  void operator()() const {
+    checker->Check();
+    if (sim->Now() < kHorizon && !::testing::Test::HasFatalFailure()) {
+      sim->After(kCheckInterval, *this);
+    }
+  }
+};
+
 TEST(FuzzInvariants, RandomTopologiesAndWorkloads) {
   uint64_t base = BaseSeed();
   for (int run = 0; run < kRuns; ++run) {
@@ -205,16 +239,9 @@ TEST(FuzzInvariants, RandomTopologiesAndWorkloads) {
     SpawnRandomMix(sim, rng, static_cast<int>(rng.NextInRange(6, 48)));
 
     InvariantChecker checker(&sim);
-    // Re-arming check callback: one sweep every kCheckInterval until the
-    // horizon. Scheduled through the event queue so checks interleave
+    // Scheduled through the event queue so checks interleave
     // deterministically with scheduler activity.
-    std::function<void()> tick = [&] {
-      checker.Check();
-      if (sim.Now() < kHorizon && !::testing::Test::HasFatalFailure()) {
-        sim.After(kCheckInterval, tick);
-      }
-    };
-    sim.After(kCheckInterval, tick);
+    sim.After(kCheckInterval, RearmingCheck{&checker, &sim});
     sim.Run(kHorizon);
     if (::testing::Test::HasFatalFailure()) {
       return;

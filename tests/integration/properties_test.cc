@@ -189,11 +189,20 @@ TEST_P(AffinityInvarianceTest, PinnedThreadsNeverLeaveTheirMask) {
   sim.At(Milliseconds(100), [&] { sim.SetCpuOnline(0, false); });
   sim.At(Milliseconds(200), [&] { sim.SetCpuOnline(0, true); });
   bool violated = false;
+  // The check needs four locals; park them in a context struct on the stack
+  // (it outlives every event — sim.Run returns before the scope ends) so the
+  // callback capture is a single pointer.
+  struct PinCheckCtx {
+    Simulator* sim;
+    const std::vector<ThreadId>* pinned;
+    const CpuSet* mask;
+    bool* violated;
+  } ctx{&sim, &pinned, &mask, &violated};
   for (Time t = Milliseconds(20); t <= Milliseconds(900); t += Milliseconds(20)) {
-    sim.At(t, [&] {
-      for (ThreadId tid : pinned) {
-        if (sim.thread(tid).Alive() && !mask.Test(sim.sched().Entity(tid).cpu)) {
-          violated = true;
+    sim.At(t, [c = &ctx] {
+      for (ThreadId tid : *c->pinned) {
+        if (c->sim->thread(tid).Alive() && !c->mask->Test(c->sim->sched().Entity(tid).cpu)) {
+          *c->violated = true;
         }
       }
     });
