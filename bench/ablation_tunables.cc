@@ -7,12 +7,16 @@
 //      the balancer; pure-spin barriers turn every crowding into a blow-up;
 //      the hybrid reproduces the paper's tiering (DESIGN.md #10).
 //  (c) Context-switch cost: sensitivity of a sync-heavy workload.
+//  (d) Mid-run feature toggling: flipping fix_group_imbalance while the
+//      workload runs, via Scheduler::UpdateFeatures — exercising the
+//      feature-generation invalidation of the load memos outside of tests.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/sim/simulator.h"
 #include "src/topo/topology.h"
 #include "src/workloads/behaviors.h"
+#include "src/workloads/make_r.h"
 #include "src/workloads/nas.h"
 
 namespace wcores {
@@ -63,6 +67,33 @@ double BarrierAppSeconds(BarrierMode mode, int threads_per_core) {
   return ToSeconds(sim.Now());
 }
 
+// make+R completion when the Group Imbalance fix is flipped mid-run at
+// `toggle_at` (kTimeNever = never toggled). Starts from `initial`.
+double MakeWithToggleSeconds(bool initial, Time toggle_at) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.fix_group_imbalance = initial;
+  opts.seed = 6003;
+  Simulator sim(topo, opts);
+  MakeRConfig config;
+  config.make_work_per_thread = Milliseconds(300);
+  config.r_work = Seconds(3);
+  MakeRWorkload wl(&sim, config);
+  wl.Setup();
+  if (toggle_at != kTimeNever) {
+    sim.At(toggle_at, [&sim, initial] {
+      SchedFeatures f = sim.sched().features();
+      f.fix_group_imbalance = !initial;
+      sim.sched().UpdateFeatures(f);
+    });
+  }
+  sim.Run(Seconds(10));
+  if (!wl.MakeFinished()) {
+    return -1;
+  }
+  return ToSeconds(wl.MakeCompletionTime());
+}
+
 void Print(const char* label, double v) {
   if (v < 0) {
     std::printf("  %-34s did not finish (starvation/livelock)\n", label);
@@ -107,5 +138,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(us));
     Print(label, PinnedLuSeconds(32, Microseconds(us)));
   }
+
+  std::printf("\n(d) make+R vs mid-run GroupImbalance-fix toggling:\n");
+  Print("stock for the whole run", MakeWithToggleSeconds(false, kTimeNever));
+  Print("fix enabled at t=100ms", MakeWithToggleSeconds(false, Milliseconds(100)));
+  Print("fix disabled at t=100ms", MakeWithToggleSeconds(true, Milliseconds(100)));
+  Print("fixed for the whole run", MakeWithToggleSeconds(true, kTimeNever));
   return 0;
 }

@@ -210,6 +210,93 @@ void BM_PeriodicBalancePass(benchmark::State& state) {
 }
 BENCHMARK(BM_PeriodicBalancePass);
 
+// Periodic balancing with per-instant churn: every iteration reweights one
+// queued thread on cpu 1, so node 0's member-version sum changes between
+// passes while the seven remote node groups stay constant. This is the
+// realistic mix for the cross-instant group cache — partial invalidation,
+// not all-hit and not all-miss.
+void BM_PeriodicBalancePassChurn(benchmark::State& state) {
+  Topology topo = Topology::Bulldozer8x8();
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(topo.n_cores()), &client);
+  Time now = 0;
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    for (int i = 0; i < 10; ++i) {
+      ThreadParams params;
+      params.parent_cpu = c;
+      params.affinity = CpuSet::Single(c);  // Pinned: the stacking persists.
+      sched.CreateThread(now, params);
+    }
+    sched.PickNext(now, c);
+  }
+  ThreadParams churn_params;
+  churn_params.parent_cpu = 1;
+  churn_params.affinity = CpuSet::Single(1);
+  ThreadId churner = sched.CreateThread(now, churn_params);
+  now = Milliseconds(10);
+  int flip = 0;
+  for (auto _ : state) {
+    flip ^= 1;
+    sched.SetNice(now, churner, flip);  // Reweight: version bump on cpu 1.
+    sched.Tick(now, 0);
+    now += Milliseconds(200);  // Always past every balance interval.
+  }
+  const SchedStats& st = sched.stats();
+  double lookups = static_cast<double>(st.balance_group_cache_hits + st.balance_group_cache_misses);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(st.balance_group_cache_hits) / lookups : 0.0;
+  state.SetLabel("64 cores, 640 threads, churn on cpu1");
+}
+BENCHMARK(BM_PeriodicBalancePassChurn);
+
+// One newidle (idle-balance) pass: cpu 0 runs dry while cpus 1..7 of its
+// node hold ten pinned queued threads each (nothing stealable) and every
+// remote core runs one pinned hog. All trackers are born at exactly 1.0 and
+// stay in the constant domain, so across instants the seven remote node
+// groups can be served from the group cache; only cpu 0's own group — whose
+// member versions the wake/block churn bumps — must be re-aggregated. This
+// is the pass that dominates fig2_make_r/fixed wall time.
+void BM_NewidlePass(benchmark::State& state) {
+  Topology topo = Topology::Bulldozer8x8();
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(topo.n_cores()), &client);
+  Time now = 0;
+  for (CpuId c = 1; c < 8; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      ThreadParams params;
+      params.parent_cpu = c;
+      params.affinity = CpuSet::Single(c);  // Pinned: newidle cannot steal it.
+      sched.CreateThread(now, params);
+    }
+  }
+  for (CpuId c = 8; c < topo.n_cores(); ++c) {
+    ThreadParams params;
+    params.parent_cpu = c;
+    params.affinity = CpuSet::Single(c);
+    sched.CreateThread(now, params);
+    sched.PickNext(now, c);
+  }
+  ThreadParams tparams;
+  tparams.parent_cpu = 0;
+  tparams.affinity = CpuSet::Single(0);
+  ThreadId toggler = sched.CreateThread(now, tparams);
+  sched.PickNext(now, 0);
+  now = Milliseconds(10);
+  for (auto _ : state) {
+    sched.BlockCurrent(now, 0);
+    sched.PickNext(now, 0);  // Empty runqueue: the measured newidle pass.
+    sched.Wake(now + 1, toggler, 0);
+    sched.PickNext(now + 1, 0);
+    now += Microseconds(50);  // Fresh instant per pass: cross-instant reuse.
+  }
+  const SchedStats& st = sched.stats();
+  double lookups = static_cast<double>(st.balance_group_cache_hits + st.balance_group_cache_misses);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(st.balance_group_cache_hits) / lookups : 0.0;
+  state.SetLabel("64 cores, 70 stacked on node0, newidle on cpu0");
+}
+BENCHMARK(BM_NewidlePass);
+
 // One NOHZ sweep: a kicked idle core runs balancing on behalf of all ~60
 // tickless idle cores of a 64-core machine while 4 cores hold pinned load.
 // Every idle core's top-level domain lists the same node groups, so this is

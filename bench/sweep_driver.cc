@@ -7,6 +7,7 @@
 // BENCH_sweep.json with per-scenario results and per-thread-count wall
 // times so the perf trajectory is machine-readable.
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,6 +116,18 @@ int Main(int argc, char** argv) {
     report.rows.push_back(std::move(row));
   }
   report.context_num["virtual_seconds_total"] = total_virtual;
+
+  // The scaling ratio downstream tooling reads (ROADMAP "sweep scaling
+  // evidence"). On a 1-core host there is only the threads=1 row and no
+  // ratio to take — emit an explicit "scaling": null (NaN serializes as
+  // null) rather than omitting the key, so consumers see "unmeasurable
+  // here" instead of dividing by a missing row.
+  if (counts.size() > 1) {
+    report.context_num["scaling"] = wall_1thread / (last.wall_ms > 0 ? last.wall_ms : 1e-9);
+  } else {
+    report.context_num["scaling"] = std::numeric_limits<double>::quiet_NaN();
+    std::printf("\n1-core host: scaling unmeasurable, reporting \"scaling\": null\n");
+  }
 
   report.Write(opts);
   std::printf("\nwrote %s/BENCH_sweep.json\n", opts.out_dir.c_str());

@@ -41,6 +41,12 @@ for preset in release asan-ubsan; do
   ctest --preset "$preset" -j "$JOBS" "$@"
 done
 
+echo "==== [asan-ubsan] fuzz suite ===="
+# Always run the randomized invariant fuzzer sanitized, even when the caller
+# filtered the matrix above with -R: the fuzzer is where hotplug churn, the
+# load-memo cross-checks, and the decay-forward property get their teeth.
+ctest --preset asan-ubsan -j "$JOBS" -R 'FuzzInvariants\.'
+
 echo "==== [tsan] configure ===="
 cmake --preset tsan
 echo "==== [tsan] build ===="
@@ -59,5 +65,9 @@ trap 'rm -rf "$SMOKE_OUT"' EXIT
 ./build-release/bench/sweep_driver --out="$SMOKE_OUT" --threads=1 --scale=0.02 --random=1
 test -s "$SMOKE_OUT/BENCH_micro_sched_ops.json"
 test -s "$SMOKE_OUT/BENCH_sweep.json"
+# The scaling key must be present either as a ratio (multi-core host) or as
+# an explicit null (1-core host / --threads=1, as in this smoke run) — never
+# silently absent, which downstream readers treat as a divide-by-missing-row.
+grep -Eq '"scaling": (null|[0-9.]+)' "$SMOKE_OUT/BENCH_sweep.json"
 
 echo "CI OK: lint + release + asan-ubsan + tsan + bench smoke all green."

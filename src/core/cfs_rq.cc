@@ -58,6 +58,15 @@ void CfsRunqueue::DequeueQueued(SchedEntity* se, Time now) {
   UpdateMinVruntime();
 }
 
+void CfsRunqueue::Reweight(SchedEntity* se, Time now, int nice) {
+  WC_CHECK(se->on_rq && se->cpu == cpu_, "reweight of entity not on this queue");
+  UpdateCurr(now);  // Runtime already consumed accrues vruntime at the old weight.
+  total_weight_ -= se->weight;
+  se->SetNice(nice);
+  total_weight_ += se->weight;
+  BumpLoadVersion();
+}
+
 SchedEntity* CfsRunqueue::PickNext(Time now) {
   WC_CHECK(curr_ == nullptr, "previous curr not put back");
   SchedEntity* next = tree_.Leftmost();

@@ -43,6 +43,13 @@ class CfsRunqueue {
   // Removes a *queued* (not running) entity, e.g. when stolen.
   void DequeueQueued(SchedEntity* se, Time now);
 
+  // Changes the nice value of an entity currently on this queue (queued or
+  // running). The vruntime key is untouched — weight scales only future
+  // accrual, which is why no re-insert is needed — but the load sum and
+  // total_weight_ change, so the load version is bumped exactly like an
+  // enqueue/dequeue would be.
+  void Reweight(SchedEntity* se, Time now, int nice);
+
   // ---- The running entity ----------------------------------------------
 
   SchedEntity* curr() const { return curr_; }
@@ -70,16 +77,37 @@ class CfsRunqueue {
 
   // Sum of entity loads (weight x runnable-fraction / autogroup divisor);
   // `divisor_of(autogroup_id)` supplies the autogroup division.
+  //
+  // The fold order — curr first, then the tree in vruntime order — is part
+  // of the contract: float addition does not commute bit-wise, and the
+  // RqLoad memo (scheduler.cc) replays cached sums verbatim, so every path
+  // that recomputes must fold in this exact order.
   template <typename DivisorFn>
   double LoadAt(Time now, DivisorFn&& divisor_of) const {
+    bool ignored;
+    return LoadAt(now, divisor_of, &ignored);
+  }
+
+  // As above, additionally reporting whether every runnable entity's tracker
+  // is constant from `now` on (LoadTracker::ConstantFrom): if so, this exact
+  // sum — same doubles, same fold order — is what any later-instant
+  // recomputation would produce, as long as membership, weights, and
+  // divisors are unchanged. The scheduler's cross-instant load memos key on
+  // this.
+  template <typename DivisorFn>
+  double LoadAt(Time now, DivisorFn&& divisor_of, bool* all_constant) const {
     double total = 0;
+    bool all_const = true;
     if (curr_ != nullptr) {
       total += EntityLoad(*curr_, now, divisor_of(curr_->autogroup));
+      all_const = all_const && curr_->load.ConstantFrom(now);
     }
     tree_.ForEach([&](const SchedEntity* se) {
       total += EntityLoad(*se, now, divisor_of(se->autogroup));
+      all_const = all_const && se->load.ConstantFrom(now);
       return true;
     });
+    *all_constant = all_const;
     return total;
   }
 

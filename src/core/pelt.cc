@@ -5,12 +5,20 @@
 namespace wcores {
 
 double LoadTracker::Decay(Time elapsed) {
-  // 2^(-elapsed / half-life). Beyond ~20 half-lives the contribution is
-  // below 1e-6; short-circuit to keep exp2 out of the common idle path.
-  if (elapsed > 20 * kHalfLife) {
+  // 2^(-elapsed / half-life). Beyond the saturation horizon the contribution
+  // is below 1e-6; short-circuit to keep exp2 out of the common idle path.
+  // The saturated 0.0 is also what makes ConstantFrom's case 3 exact.
+  if (elapsed > kSaturationHorizon) {
     return 0.0;
   }
   return std::exp2(-static_cast<double>(elapsed) / static_cast<double>(kHalfLife));
+}
+
+double LoadTracker::DecayPeriods(Time period, int periods) {
+  if (periods <= 0) {
+    return 1.0;
+  }
+  return Decay(period * static_cast<Time>(periods));
 }
 
 }  // namespace wcores

@@ -59,26 +59,58 @@ double Scheduler::AutogroupDivisor(AutogroupId id) const {
 
 double Scheduler::RqLoad(Time now, CpuId cpu) const {
   // Memoized exactly, so the cached value is bit-identical to a recompute:
-  // the key covers everything LoadAt reads. Membership changes bump
-  // rq.load_version(); divisor changes bump ag_epoch_; and a member
-  // tracker's SetState/Advance at the same instant leaves ValueAt(now)
-  // unchanged (decay only accrues across instants), so same (now, version,
-  // epoch) implies the same sum.
+  // the key covers everything LoadAt reads. Membership and weight changes
+  // bump rq.load_version(); divisor changes bump ag_epoch_ or feature_gen_;
+  // and a member tracker's SetState/Advance at the same instant leaves
+  // ValueAt(now) unchanged (decay only accrues across instants), so same
+  // (now, version, epochs) implies the same sum.
+  //
+  // Cross-instant: when load_cache_const is set, every member tracker was
+  // constant from load_cache_now on (LoadTracker::ConstantFrom), so under an
+  // unchanged version the sum at any later instant is the same doubles
+  // folded in the same order — serve the cached value. The one tracker
+  // mutation without a version bump, Tick's Advance on curr, cannot break
+  // this: Advance of a constant tracker lands on avg == 1.0 and preserves
+  // constancy, and a non-constant curr at fill time made load_cache_const
+  // false to begin with.
   const Cpu& c = cpus_[cpu];
-  if (c.load_cache_now == now && c.load_cache_version == c.rq.load_version() &&
-      c.load_cache_epoch == ag_epoch_) {
+  if (c.load_cache_version == c.rq.load_version() && c.load_cache_epoch == ag_epoch_ &&
+      c.load_cache_feat == feature_gen_ &&
+      (c.load_cache_now == now || (c.load_cache_const && now > c.load_cache_now))) {
     return c.load_cache_value;
   }
-  double load = RqLoadRecomputed(now, cpu);
+  bool all_const = false;
+  double load = cpus_[cpu].rq.LoadAt(
+      now, [this](AutogroupId id) { return AutogroupDivisor(id); }, &all_const);
   c.load_cache_now = now;
   c.load_cache_version = c.rq.load_version();
   c.load_cache_epoch = ag_epoch_;
+  c.load_cache_feat = feature_gen_;
+  c.load_cache_const = all_const;
   c.load_cache_value = load;
   return load;
 }
 
 double Scheduler::RqLoadRecomputed(Time now, CpuId cpu) const {
   return cpus_[cpu].rq.LoadAt(now, [this](AutogroupId id) { return AutogroupDivisor(id); });
+}
+
+void Scheduler::UpdateFeatures(const SchedFeatures& features) {
+  features_ = features;
+  feature_gen_ += 1;
+}
+
+void Scheduler::SetNice(Time now, ThreadId tid, int nice) {
+  SchedEntity& se = entities_[tid];
+  if (se.nice == nice) {
+    return;
+  }
+  if (se.on_rq) {
+    cpus_[se.cpu].rq.Reweight(&se, now, nice);
+    NotifyLoad(now, se.cpu);
+  } else {
+    se.SetNice(nice);
+  }
 }
 
 ThreadId Scheduler::CurrentThread(CpuId cpu) const {
@@ -456,6 +488,7 @@ void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
     return;
   }
   balance_epoch_ += 1;  // Group membership (n_cpus) is about to change.
+  topo_epoch_ += 1;     // Per-entry slice of the same fact, for group_cache_.
   if (!online) {
     // If the core sits idle in the index, drop it first: offline cpus are
     // never listed (the evacuation below re-checks idle state with

@@ -162,6 +162,19 @@ class Scheduler {
   // Re-resolves the autogroup divisor for load computations.
   double AutogroupDivisor(AutogroupId id) const;
 
+  // Mid-run feature toggling (the ablation driver flips fixes while a
+  // scenario runs). Bumps the feature generation so every memoized value
+  // derived from the flags — autogroup divisors feed RqLoad, and group stats
+  // build on it — is invalidated instead of served stale. Domain
+  // construction flags take effect at the next rebuild (hotplug), as in the
+  // kernel.
+  void UpdateFeatures(const SchedFeatures& features);
+  uint64_t feature_generation() const { return feature_gen_; }
+
+  // Renices a thread mid-run; routes through its runqueue when runnable so
+  // the load-version machinery sees the weight change.
+  void SetNice(Time now, ThreadId tid, int nice);
+
   // ---- Modular scheduling (§5's vision; see src/modsched/) ------------------
 
   // Attaches an optimization module for wakeup placement. Suggestions are
@@ -193,12 +206,18 @@ class Scheduler {
     double last_load_reported = -1.0;
 
     // RqLoad memo (see Scheduler::RqLoad): the last computed load, valid
-    // while the query instant, the runqueue membership version, and the
-    // autogroup epoch all still match. mutable because RqLoad is logically
+    // while the query instant, the runqueue membership version, the
+    // autogroup epoch, and the feature generation all still match — or, when
+    // load_cache_const is set, at *any later* instant under the same
+    // version/epochs: every member tracker was constant from load_cache_now
+    // on (LoadTracker::ConstantFrom), so the cached sum is exactly what a
+    // recomputation would produce. mutable because RqLoad is logically
     // const.
     mutable Time load_cache_now = kTimeNever;
     mutable uint64_t load_cache_version = 0;
     mutable uint64_t load_cache_epoch = 0;
+    mutable uint64_t load_cache_feat = 0;
+    mutable bool load_cache_const = false;
     mutable double load_cache_value = 0.0;
   };
 
@@ -228,8 +247,45 @@ class Scheduler {
     }
   };
 
+  // One group-stats memo entry (see group_cache_ below): the cached
+  // aggregate plus a snapshot of everything it depends on, so validity can
+  // be decided per entry instead of flushing the whole cache whenever any
+  // epoch moves.
+  struct GroupCacheEntry {
+    CpuSet cpus;
+    GroupLoadStats stats;
+    Time filled_at = kTimeNever;
+    uint64_t balance_epoch = 0;
+    uint64_t ag_epoch = 0;
+    uint64_t feature_gen = 0;
+    uint64_t topo_epoch = 0;
+    uint64_t imb_epoch = 0;
+    // Exact decay-forward (DESIGN.md §balancing): every member runqueue's
+    // loads were constant from filled_at on, so sum/min stay bit-identical
+    // at later instants while the member versions still match.
+    bool all_const = false;
+    uint64_t member_version_sum = 0;
+  };
+
   // The stats of `cpus` minus `excluded`, straight from the runqueues.
   GroupLoadStats ComputeGroupStats(Time now, const CpuSet& cpus, const CpuSet& excluded) const;
+
+  // The group cache accessor: serves `cpus`' stats from group_cache_ when a
+  // live entry exists (GroupEntryLive), refilling the entry otherwise. The
+  // only sanctioned way for balancing code to aggregate per-entity loads;
+  // wc-lint rule D6 flags direct per-entity reads in scheduler_balance.cc.
+  // `slot_hint` (SchedGroup::stats_slot) caches the entry index across
+  // passes; pass nullptr to force a key scan.
+  GroupLoadStats GroupStats(Time now, const CpuSet& cpus, int* slot_hint = nullptr);
+
+  // Entry validity at `now`: all epoch snapshots current, and either nothing
+  // anywhere changed since a same-instant fill, or the entry rolls forward
+  // exactly (all_const) and no member runqueue changed membership/weights.
+  bool GroupEntryLive(const GroupCacheEntry& e, Time now) const;
+
+  // Sum of the online members' runqueue load versions. Versions only
+  // increase, so an unchanged sum means no member changed.
+  uint64_t MemberVersionSum(const CpuSet& cpus) const;
 
   // Wakeup placement; fills `considered` for the visualization tool.
   CpuId SelectTaskRq(Time now, const SchedEntity& se, CpuId waker_cpu, CpuSet* considered);
@@ -300,24 +356,42 @@ class Scheduler {
   // their shared_load_epoch pointer), any Cpu::imbalanced flip, and hotplug.
   uint64_t balance_epoch_ = 0;
 
+  // Finer-grained slices of balance_epoch_, so cross-instant group entries
+  // need not die with every unrelated runqueue change: hotplug (group
+  // membership / n_cpus) and Cpu::imbalanced flips, respectively.
+  uint64_t topo_epoch_ = 0;
+  uint64_t imb_epoch_ = 0;
+
+  // Advances on UpdateFeatures: flags feed autogroup divisors (and thereby
+  // every cached load), so the memos key on it.
+  uint64_t feature_gen_ = 0;
+
   // Group-stats memo for BalanceDomain, mirroring the RqLoad memo one level
   // up: groups with identical cpu sets recur across the domain trees of
   // different cores (every top-level domain lists the same node groups), and
-  // NOHZ balancing walks many trees at one instant. Entries are valid only
-  // while all three key fields still match; BalanceDomain flushes the cache
-  // otherwise. Only stats of the full machine state are cached (balancing
-  // passes with a non-empty excluded set bypass the memo), and only for
-  // periodic/NOHZ balancing — newidle passes each run at a fresh instant
-  // after a load change, so caching them is pure insert cost. A flat vector
-  // with linear lookup, not a map: an instant holds at most a handful of
-  // distinct groups, and clear() keeps capacity so steady-state caching
-  // allocates nothing. mutable for symmetry with the RqLoad memo: filling a
-  // cache is logically const, and ValidateGroupCache reads it from const
-  // context.
-  mutable std::vector<std::pair<CpuSet, GroupLoadStats>> group_cache_;
-  mutable Time group_cache_now_ = kTimeNever;
-  mutable uint64_t group_cache_epoch_ = 0;
-  mutable uint64_t group_cache_ag_epoch_ = 0;
+  // NOHZ balancing walks many trees at one instant. Each entry snapshots all
+  // of its inputs (GroupCacheEntry), so validity is per entry: a same-instant
+  // entry is served while nothing changed, and an all-const entry — every
+  // member load constant from the fill instant on — is served at *later*
+  // instants too, as long as no member runqueue's version moved. That
+  // cross-instant case is what makes caching pay on newidle balancing, where
+  // every pass runs at a fresh instant: the groups the triggering context
+  // switch did not touch roll forward exactly instead of being re-aggregated
+  // per entity. Only stats of the full machine state are cached (balancing
+  // passes with a non-empty excluded set bypass the memo). A flat vector
+  // with linear lookup and one slot per distinct cpu set, not a map: a
+  // machine holds at most a handful of distinct groups, and slot reuse means
+  // steady-state caching allocates nothing. mutable for symmetry with the
+  // RqLoad memo: ValidateGroupCache reads it from const context.
+  mutable std::vector<GroupCacheEntry> group_cache_;
+  // group_cache_[k]'s cpu set, duplicated into a dense vector so the
+  // per-lookup scan stays within a few cache lines (GroupStats).
+  mutable std::vector<CpuSet> group_cache_keys_;
+
+  // Scratch for BalanceDomain's per-group stats. Balancing never nests and
+  // the scheduler is single-threaded, so one buffer reused across calls
+  // keeps the newidle hot path free of per-pass heap allocation.
+  std::vector<GroupLoadStats> balance_stats_scratch_;
 
   SchedStats stats_;
 

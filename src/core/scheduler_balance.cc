@@ -25,23 +25,123 @@ Scheduler::GroupLoadStats Scheduler::ComputeGroupStats(Time now, const CpuSet& c
   return gs;
 }
 
-bool Scheduler::ValidateGroupCache(Time now) const {
-  if (group_cache_now_ != now || group_cache_epoch_ != balance_epoch_ ||
-      group_cache_ag_epoch_ != ag_epoch_) {
-    return true;  // Stale: BalanceDomain flushes before reuse.
+uint64_t Scheduler::MemberVersionSum(const CpuSet& cpus) const {
+  uint64_t sum = 0;
+  for (CpuId c : cpus) {
+    if (cpus_[c].online) {
+      sum += cpus_[c].rq.load_version();
+    }
   }
-  for (const auto& [cpus, cached] : group_cache_) {
-    GroupLoadStats fresh = ComputeGroupStats(now, cpus, CpuSet{});
+  return sum;
+}
+
+bool Scheduler::GroupEntryLive(const GroupCacheEntry& e, Time now) const {
+  if (e.ag_epoch != ag_epoch_ || e.feature_gen != feature_gen_ || e.topo_epoch != topo_epoch_ ||
+      e.imb_epoch != imb_epoch_) {
+    return false;
+  }
+  if (now == e.filled_at && e.balance_epoch == balance_epoch_) {
+    return true;  // Nothing anywhere changed since the fill: O(1) accept.
+  }
+  // The global epoch moved (or the instant did). The entry is still exact
+  // iff no *member* runqueue changed — versions only grow, so an unchanged
+  // sum pins every member — and, across instants, the member loads were
+  // constant from the fill instant on (all_const), i.e. the decay-forward
+  // factor is exactly 1.0. Same-instant entries need no constancy: decay
+  // has not accrued.
+  if (now < e.filled_at || (now > e.filled_at && !e.all_const)) {
+    return false;
+  }
+  return MemberVersionSum(e.cpus) == e.member_version_sum;
+}
+
+bool Scheduler::ValidateGroupCache(Time now) const {
+  for (const GroupCacheEntry& e : group_cache_) {
+    if (!GroupEntryLive(e, now)) {
+      continue;  // Dead entries are never served; nothing to check.
+    }
+    GroupLoadStats fresh = ComputeGroupStats(now, e.cpus, CpuSet{});
     // Exact comparison on purpose: a memo must be bit-identical to the
     // recomputation it stands in for, or the golden trace hashes drift.
     // wc-lint: allow(D4 coherence check that the memo IS the recomputation, not a decision)
-    if (fresh.sum_load != cached.sum_load || fresh.min_load != cached.min_load ||
-        fresh.n_cpus != cached.n_cpus || fresh.nr_running != cached.nr_running ||
-        fresh.imbalanced != cached.imbalanced) {
+    if (fresh.sum_load != e.stats.sum_load || fresh.min_load != e.stats.min_load ||
+        fresh.n_cpus != e.stats.n_cpus || fresh.nr_running != e.stats.nr_running ||
+        fresh.imbalanced != e.stats.imbalanced) {
       return false;
     }
   }
   return true;
+}
+
+Scheduler::GroupLoadStats Scheduler::GroupStats(Time now, const CpuSet& cpus, int* slot_hint) {
+  // Slot lookup: the caller's hint first (O(1) in steady state — entries
+  // are never erased, so indices stay valid and only a domain rebuild can
+  // stale a hint), then a scan of the dense key vector rather than the ~5x
+  // larger entries. With one persistent slot per distinct group cpu set
+  // (every singleton plus every node on a big machine), this lookup runs
+  // on every group of every newidle pass.
+  size_t idx = group_cache_keys_.size();
+  if (slot_hint != nullptr && *slot_hint >= 0 &&
+      static_cast<size_t>(*slot_hint) < group_cache_keys_.size() &&
+      group_cache_keys_[static_cast<size_t>(*slot_hint)] == cpus) {
+    idx = static_cast<size_t>(*slot_hint);
+  } else {
+    for (size_t k = 0; k < group_cache_keys_.size(); ++k) {
+      if (group_cache_keys_[k] == cpus) {
+        idx = k;
+        break;
+      }
+    }
+  }
+  GroupCacheEntry* slot = idx < group_cache_.size() ? &group_cache_[idx] : nullptr;
+  if (slot != nullptr && GroupEntryLive(*slot, now)) {
+    stats_.balance_group_cache_hits += 1;
+    if (slot_hint != nullptr) {
+      *slot_hint = static_cast<int>(idx);
+    }
+    return slot->stats;
+  }
+  stats_.balance_group_cache_misses += 1;
+  if (slot == nullptr) {
+    idx = group_cache_.size();
+    group_cache_.emplace_back();
+    group_cache_keys_.push_back(cpus);
+    slot = &group_cache_.back();
+    slot->cpus = cpus;
+  }
+  if (slot_hint != nullptr) {
+    *slot_hint = static_cast<int>(idx);
+  }
+  GroupCacheEntry& e = *slot;
+  // Same member walk (and float fold order) as ComputeGroupStats, fused with
+  // the constancy/version snapshot. RqLoad leaves load_cache_const accurate
+  // for `now` on both fill and hit paths.
+  e.stats = GroupLoadStats{};
+  bool all_const = true;
+  uint64_t version_sum = 0;
+  for (CpuId c : cpus) {
+    const Cpu& cc = cpus_[c];
+    if (!cc.online) {
+      continue;
+    }
+    double load = RqLoad(now, c);
+    e.stats.sum_load += load;
+    e.stats.min_load = std::min(e.stats.min_load, load);
+    e.stats.n_cpus += 1;
+    e.stats.nr_running += cc.rq.nr_running();
+    e.stats.imbalanced = e.stats.imbalanced || cc.imbalanced;
+    all_const = all_const && cc.load_cache_const;
+    version_sum += cc.rq.load_version();
+  }
+  e.filled_at = now;
+  e.balance_epoch = balance_epoch_;
+  e.ag_epoch = ag_epoch_;
+  e.feature_gen = feature_gen_;
+  e.topo_epoch = topo_epoch_;
+  e.imb_epoch = imb_epoch_;
+  e.all_const = all_const;
+  e.member_version_sum = version_sum;
+  return e.stats;
 }
 
 int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKind kind) {
@@ -72,20 +172,18 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
 
     // Lines 10-12: average (and minimum) load of every scheduling group.
     //
-    // Memoized across calls at the same instant: the first (no-exclusions)
-    // pass consults group_cache_, so when NOHZ balancing walks every idle
-    // core's domain tree, each distinct group cpu set — and top-level trees
-    // share all of theirs — is aggregated once instead of once per tree.
-    // Redo passes carry exclusions, which are per-call state, and recompute.
-    //
-    // Newidle balancing is deliberately NOT cached: each pass runs at its
-    // own event instant right after a context switch bumped balance_epoch_,
-    // so entries would be written once and never read — on fig2_make_r/fixed
-    // that is ~170k wasted inserts, a measured net slowdown. The uncached
-    // branch keeps the original fused aggregate-and-union loop so the hot
-    // newidle path carries zero cache bookkeeping.
-    const bool cacheable = excluded.Empty() && kind != ConsideredKind::kIdleBalance;
-    std::vector<GroupLoadStats> stats(sd.groups.size());
+    // Memoized through the group cache accessor (GroupStats): when NOHZ
+    // balancing walks every idle core's domain tree at one instant, each
+    // distinct group cpu set — and top-level trees share all of theirs — is
+    // aggregated once instead of once per tree; and newidle passes, which
+    // each run at a fresh instant after one runqueue changed, serve every
+    // group the context switch did *not* touch from its all-const entry
+    // (exact decay-forward; see GroupEntryLive) instead of re-walking the
+    // entities. Redo passes carry exclusions, which are per-call state, and
+    // recompute with the fused aggregate-and-union loop.
+    const bool cacheable = excluded.Empty();
+    std::vector<GroupLoadStats>& stats = balance_stats_scratch_;
+    stats.assign(sd.groups.size(), GroupLoadStats{});
     CpuSet considered;
     if (!cacheable) {
       for (size_t g = 0; g < sd.groups.size(); ++g) {
@@ -104,29 +202,8 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
         }
       }
     } else {
-      if (group_cache_now_ != now || group_cache_epoch_ != balance_epoch_ ||
-          group_cache_ag_epoch_ != ag_epoch_) {
-        group_cache_.clear();
-        group_cache_now_ = now;
-        group_cache_epoch_ = balance_epoch_;
-        group_cache_ag_epoch_ = ag_epoch_;
-      }
       for (size_t g = 0; g < sd.groups.size(); ++g) {
-        const GroupLoadStats* hit = nullptr;
-        for (const auto& entry : group_cache_) {
-          if (entry.first == sd.groups[g].cpus) {
-            hit = &entry.second;
-            break;
-          }
-        }
-        if (hit != nullptr) {
-          stats[g] = *hit;
-          stats_.balance_group_cache_hits += 1;
-          continue;
-        }
-        stats[g] = ComputeGroupStats(now, sd.groups[g].cpus, excluded);
-        group_cache_.emplace_back(sd.groups[g].cpus, stats[g]);
-        stats_.balance_group_cache_misses += 1;
+        stats[g] = GroupStats(now, sd.groups[g].cpus, &sd.groups[g].stats_slot);
       }
       // The cores examined: every online member of every group. (cacheable
       // implies an empty excluded set, so cache hits above did not skip
@@ -202,6 +279,7 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
         if (cpus_[src].imbalanced) {
           cpus_[src].imbalanced = false;
           balance_epoch_ += 1;
+          imb_epoch_ += 1;
         }
         stats_.balance_success += 1;
         stats_.balance_moved_tasks += static_cast<uint64_t>(moved);
@@ -214,6 +292,7 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
           !cpus_[src].imbalanced) {
         cpus_[src].imbalanced = true;
         balance_epoch_ += 1;
+        imb_epoch_ += 1;
       }
       stats_.balance_affinity_retries += 1;
       excluded.Set(src);
@@ -280,6 +359,7 @@ int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load
     if (src.rq.nr_running() <= 1) {
       break;
     }
+    // wc-lint: allow(D6 single-entity migration pick; group aggregates still come from GroupStats)
     double load = CfsRunqueue::EntityLoad(*se, now, AutogroupDivisor(se->autogroup));
     src.rq.DequeueQueued(se, now);
     Time rel = se->vruntime > src.rq.min_vruntime() ? se->vruntime - src.rq.min_vruntime() : 0;

@@ -30,13 +30,14 @@ const char kPolicyFileName[] = ".wc-lint.policy";
 
 // Built-in severities when no policy file says otherwise. D1 is the one
 // rule that is wrong everywhere; the directory-scoped rules default to warn
-// (D2/D3/D4) or off (D5, which is opt-in per hot-path file).
+// (D2/D3/D4) or off (D5/D6, which are opt-in per hot-path / balancing file).
 std::map<std::string, Severity> BuiltinDefaults() {
   return {{"D1", Severity::kError},
           {"D2", Severity::kWarn},
           {"D3", Severity::kWarn},
           {"D4", Severity::kWarn},
-          {"D5", Severity::kOff}};
+          {"D5", Severity::kOff},
+          {"D6", Severity::kOff}};
 }
 
 bool HasSourceExtension(const fs::path& p) {

@@ -13,6 +13,7 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"D3", "nondeterminism source outside the seeded-RNG / host-timing seams"},
       {"D4", "floating-point == / != comparison in scheduler decision code"},
       {"D5", "std::function in a designated hot-path file (type-erasure overhead)"},
+      {"D6", "per-entity decayed-load read in balancing code (bypasses the group-stats cache)"},
   };
   return kRules;
 }
@@ -94,6 +95,7 @@ class Scanner {
       CheckD3(i);
       CheckD4(i);
       CheckD5(i);
+      CheckD6(i);
     }
     return std::move(findings_);
   }
@@ -300,6 +302,33 @@ class Scanner {
            "std::function in a designated hot-path file: type erasure costs an indirect call "
            "and possible heap allocation per event (ROADMAP: replace with a fixed-size "
            "inline-storage callback)");
+  }
+
+  // D6: a call to one of the per-entity decayed-load accessors. Scoped by
+  // policy to balancing code, where every load the balancer folds into a
+  // group comparison must come through Scheduler::RqLoad / GroupStats so the
+  // decay-forward memo stays the single source of truth. A direct
+  // tracker.ValueAt(now) / CfsRunqueue::EntityLoad(...) there re-decays one
+  // entity outside the cache: cheap-looking, O(entities) in aggregate, and a
+  // bit-exactness hazard the moment its fold order diverges from LoadAt's.
+  void CheckD6(size_t i) {
+    if (!Enabled("D6")) {
+      return;
+    }
+    const Token* t = At(i);
+    if (t == nullptr || t->kind != TokKind::kIdent || !IsPunct(At(i + 1), "(")) {
+      return;
+    }
+    const std::string& name = t->text;
+    if (name != "ValueAt" && name != "EntityLoad" && name != "LoadAt" &&
+        name != "RqLoadRecomputed") {
+      return;
+    }
+    Report("D6", t->line,
+           name + "() in balancing code bypasses the group-stats cache: group aggregates must "
+                  "come from Scheduler::RqLoad / GroupStats so the decay-forward memo stays "
+                  "authoritative (per-entity reads re-decay outside it and can diverge from the "
+                  "cached fold)");
   }
 
   const std::string& path_;

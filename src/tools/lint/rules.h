@@ -17,6 +17,10 @@
 //       exact-equality decisions are one ulp away from flipping.
 //   D5  std::function in designated hot-path files (policy-scoped): tracks
 //       the ROADMAP inline-callback item as a finding, not a failure.
+//   D6  per-entity decayed-load reads (ValueAt / EntityLoad / LoadAt /
+//       RqLoadRecomputed calls) in balancing code (policy-scoped): the
+//       balancer must read group aggregates through the decay-forward memo
+//       (Scheduler::RqLoad / GroupStats), never re-decay entities itself.
 //
 // Findings are suppressed only by an inline annotation on the same line or
 // the line above:   // wc-lint: allow(D3 measuring host wall time)
@@ -38,7 +42,7 @@ struct RuleInfo {
   const char* summary;
 };
 
-// All real rules (D1..D5), in report order. SUPPRESS is not listed: it is
+// All real rules (D1..D6), in report order. SUPPRESS is not listed: it is
 // the meta-rule guarding the annotation grammar and cannot be configured.
 const std::vector<RuleInfo>& RuleCatalog();
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace wcores {
 namespace {
 
@@ -88,6 +90,145 @@ TEST(PeltTest, StateIsVisible) {
   EXPECT_TRUE(t.runnable());
   t.SetState(6, false);
   EXPECT_FALSE(t.runnable());
+}
+
+// ---- Decay-forward exactness (the balancer's cross-instant memos) ----------
+//
+// The golden table below pins the exact IEEE-754 doubles Decay produces at
+// period multiples. If any of these drift — a different exp2, a different
+// fold, a "harmless" refactor to fixed-point — every cached load in the
+// scheduler changes and all sweep trace hashes break, so this test fails
+// first, with a readable diff.
+TEST(PeltDecayForwardTest, GoldenDecayTable) {
+  struct Row {
+    Time elapsed;
+    double factor;
+  };
+  const Row kGolden[] = {
+      {Milliseconds(1), 0x1.f50765b6e4540p-1},
+      {Milliseconds(2), 0x1.ea4afa2a490dap-1},
+      {Milliseconds(4), 0x1.d5818dcfba487p-1},
+      {Milliseconds(8), 0x1.ae89f995ad3adp-1},
+      {Milliseconds(16), 0x1.6a09e667f3bcdp-1},  // Half a half-life: 2^-0.5.
+      {Milliseconds(32), 0x1.0000000000000p-1},  // One half-life: exactly 0.5.
+      {Milliseconds(48), 0x1.6a09e667f3bcdp-2},
+      {Milliseconds(64), 0x1.0000000000000p-2},  // Two half-lives: exactly 0.25.
+      {Milliseconds(96), 0x1.0000000000000p-3},
+      {Milliseconds(128), 0x1.0000000000000p-4},
+      {Milliseconds(320), 0x1.0000000000000p-10},
+      {Milliseconds(640), 0x1.0000000000000p-20},  // Saturation horizon itself.
+      {Milliseconds(641), 0.0},                    // Past it: exact zero.
+      {Seconds(100), 0.0},
+  };
+  for (const Row& row : kGolden) {
+    EXPECT_EQ(LoadTracker::Decay(row.elapsed), row.factor)
+        << "Decay(" << row.elapsed << ") drifted";
+  }
+}
+
+// The closed form DecayPeriods(p, n) == Decay(n*p) is exact by construction;
+// the per-period multiplicative roll-forward Decay(p)^n is NOT the same
+// doubles. Both facts are part of the design contract: the balancer's caches
+// must never scale a sum by a decay product, because that product is not
+// bit-identical to re-evaluating the trackers.
+TEST(PeltDecayForwardTest, ClosedFormBeatsIteratedMultiply) {
+  const Time period = Milliseconds(3);
+  double iterated = 1.0;
+  bool any_divergence = false;
+  for (int n = 1; n <= 64; ++n) {
+    iterated *= LoadTracker::Decay(period);
+    double closed = LoadTracker::DecayPeriods(period, n);
+    EXPECT_EQ(closed, LoadTracker::Decay(period * static_cast<Time>(n)));
+    if (closed != iterated) {
+      any_divergence = true;
+    }
+  }
+  EXPECT_TRUE(any_divergence)
+      << "Decay(p)^n matched Decay(n*p) bit-for-bit across 64 periods; the "
+         "constancy-based memo design would be over-conservative";
+}
+
+// The identity ConstantFrom's case 1 rests on: for every decay factor k in
+// [0, 1], fl(1.0 * k + fl(1.0 - k)) == 1.0 — a fully-ramped runnable tracker
+// is a fixed point of ValueAt. Swept densely over elapsed times (which is
+// how k values arise in the tracker), including the sub-half-life range
+// where k > 0.5 (Sterbenz territory) and the deep tail where fl(1-k) rounds.
+TEST(PeltDecayForwardTest, FullyRampedRunnableIsFixedPoint) {
+  for (Time elapsed = 1; elapsed <= LoadTracker::kSaturationHorizon + Milliseconds(1);
+       elapsed += Microseconds(97)) {
+    double k = LoadTracker::Decay(elapsed);
+    EXPECT_EQ(1.0 * k + (1.0 - k), 1.0) << "elapsed=" << elapsed << " k=" << k;
+  }
+  // And through the tracker itself, at awkward instants.
+  LoadTracker t(1.0);
+  t.SetState(0, true);
+  for (Time now : {Nanoseconds(1), Microseconds(1), Microseconds(333), Milliseconds(1),
+                   Milliseconds(31), Milliseconds(32), Milliseconds(33), Milliseconds(555),
+                   Milliseconds(641), Seconds(100)}) {
+    EXPECT_EQ(t.ValueAt(now), 1.0) << "now=" << now;
+  }
+}
+
+TEST(PeltDecayForwardTest, ConstantFromTruthTable) {
+  const Time t0 = Milliseconds(100);
+
+  // Case 1: born full and runnable from birth. (SetState at a later instant
+  // would decay the tracker first — trackers are born non-runnable.)
+  LoadTracker ramped(1.0);
+  ramped.SetState(0, true);
+  EXPECT_TRUE(ramped.ConstantFrom(t0));
+  EXPECT_TRUE(ramped.ConstantFrom(t0 + Seconds(10)));
+
+  LoadTracker drained(0.0);  // Case 2: fully decayed and blocked.
+  drained.SetState(t0, false);
+  EXPECT_TRUE(drained.ConstantFrom(t0));
+
+  LoadTracker ramping(0.5);  // Mid-ramp: value genuinely changes.
+  ramping.SetState(t0, true);
+  EXPECT_FALSE(ramping.ConstantFrom(t0));
+  EXPECT_FALSE(ramping.ConstantFrom(t0 + Milliseconds(1)));
+  // ...until the query instant clears the saturation horizon (case 3).
+  EXPECT_TRUE(ramping.ConstantFrom(t0 + LoadTracker::kSaturationHorizon + 1));
+
+  LoadTracker draining(0.5);  // Mid-decay: same, mirrored.
+  draining.SetState(t0, false);
+  EXPECT_FALSE(draining.ConstantFrom(t0 + Milliseconds(1)));
+  EXPECT_TRUE(draining.ConstantFrom(t0 + LoadTracker::kSaturationHorizon + 1));
+
+  // The predicate's promise, verified literally: once constant, ValueAt
+  // returns the same double at every later instant.
+  for (const LoadTracker* t : {&ramped, &drained}) {
+    double v0 = t->ValueAt(t0);
+    for (int n = 1; n <= 64; ++n) {
+      EXPECT_EQ(t->ValueAt(t0 + Milliseconds(7) * static_cast<Time>(n)), v0);
+    }
+  }
+}
+
+// Advance cannot break an established constancy: committing a constant
+// tracker at a later instant re-derives the same fixed point.
+TEST(PeltDecayForwardTest, AdvancePreservesConstancy) {
+  LoadTracker t(1.0);
+  t.SetState(0, true);
+  ASSERT_TRUE(t.ConstantFrom(0));
+  for (Time now = Milliseconds(5); now < Seconds(2); now += Milliseconds(173)) {
+    t.Advance(now);
+    EXPECT_TRUE(t.ConstantFrom(now));
+    EXPECT_EQ(t.ValueAt(now + Seconds(1)), 1.0);
+  }
+}
+
+// A hog that was not born full converges to *exactly* 1.0 by rounding after
+// ~54 half-lives of continuous runnability — from then on it is in the
+// constant domain and the balancer's caches can roll it forward.
+TEST(PeltDecayForwardTest, ContinuousRunnabilityReachesExactOne) {
+  LoadTracker t(0.0);
+  t.SetState(0, true);
+  EXPECT_FALSE(t.ConstantFrom(Milliseconds(500)));
+  const Time converged = 54 * LoadTracker::kHalfLife;
+  EXPECT_EQ(t.ValueAt(converged), 1.0);
+  t.Advance(converged);
+  EXPECT_TRUE(t.ConstantFrom(converged));
 }
 
 }  // namespace

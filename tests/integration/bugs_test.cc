@@ -268,6 +268,63 @@ TEST(MissingDomainsBugTest, ThreadsStayOnSpawnNode) {
   EXPECT_EQ(off_node_samples, 0);
 }
 
+// ------------------------------------------------------------- memo keys ---
+
+// Mid-run feature toggling, as the ablation driver does it: scheduler
+// feature flags feed the autogroup divisors that both the RqLoad memo and
+// the balancer's group-stats memo bake into their cached sums, so a flip
+// that bumps no generation counter would keep serving pre-toggle values
+// under post-toggle semantics. The probe is at the *same instant* with the
+// same load_versions on purpose — only the feature generation in the key
+// can tell the stale fills apart from fresh ones.
+TEST(FeatureToggleTest, MidRunGroupImbalanceToggleInvalidatesLoadMemos) {
+  Topology topo = Topology::Bulldozer8x8();
+  Simulator::Options opts;
+  opts.features.fix_group_imbalance = true;  // Balancing populates group stats.
+  opts.features.autogroup_enabled = true;
+  opts.seed = 21;
+  Simulator sim(topo, opts);
+  AutogroupId grp = sim.CreateAutogroup();
+  for (int i = 0; i < 24; ++i) {
+    Simulator::SpawnParams params;
+    params.parent_cpu = static_cast<CpuId>(i % topo.n_cores());
+    params.autogroup = i % 2 == 0 ? grp : kRootAutogroup;
+    sim.Spawn(std::make_unique<ScriptBehavior>(std::vector<Action>{ComputeAction{Seconds(1)}}),
+              params);
+  }
+  sim.Run(Milliseconds(50));
+
+  Scheduler& sched = sim.sched();
+  const Time now = sim.Now();
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    (void)sched.RqLoad(now, c);  // Populate the per-rq memo at this instant.
+  }
+  ASSERT_TRUE(sched.ValidateGroupCache(now));
+  const uint64_t gen = sched.feature_generation();
+
+  SchedFeatures toggled = opts.features;
+  toggled.fix_group_imbalance = false;  // The ablation's flip...
+  toggled.autogroup_enabled = false;    // ...and one that changes every divisor.
+  sched.UpdateFeatures(toggled);
+  EXPECT_EQ(sched.feature_generation(), gen + 1);
+
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    ASSERT_EQ(sched.RqLoad(now, c), sched.RqLoadRecomputed(now, c))
+        << "cpu " << c << ": memo served a pre-toggle load";
+  }
+  ASSERT_TRUE(sched.ValidateGroupCache(now));
+
+  // Flip back: fills made under the toggled generation must not leak into
+  // this one either, and the run must stay healthy afterwards.
+  sched.UpdateFeatures(opts.features);
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    ASSERT_EQ(sched.RqLoad(now, c), sched.RqLoadRecomputed(now, c)) << "cpu " << c;
+  }
+  ASSERT_TRUE(sched.ValidateGroupCache(now));
+  sim.Run(Milliseconds(100));
+  ASSERT_TRUE(sched.ValidateGroupCache(sim.Now()));
+}
+
 TEST(MissingDomainsBugTest, FixRestoresCrossNodeBalancing) {
   Topology topo = Topology::Bulldozer8x8();
   Simulator::Options opts;

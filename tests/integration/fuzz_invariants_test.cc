@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/pelt.h"
 #include "src/sim/simulator.h"
 #include "src/simkit/rng.h"
 #include "src/tools/sanity_checker.h"
@@ -35,6 +36,7 @@ constexpr uint64_t kDefaultBaseSeed = 20260805ULL;
 constexpr int kRuns = 6;
 constexpr Time kHorizon = Milliseconds(300);
 constexpr Time kCheckInterval = Microseconds(997);  // Odd: drifts across ticks.
+constexpr Time kHotplugInterval = Microseconds(13831);  // ~21 toggles per run.
 
 uint64_t BaseSeed() {
   const char* env = std::getenv("WC_FUZZ_SEED");
@@ -90,6 +92,23 @@ void SpawnRandomMix(Simulator& sim, Rng& rng, int threads) {
       sim.Spawn(std::make_unique<ScriptBehavior>(std::move(script), /*repeat=*/1000), params);
     }
   }
+}
+
+// The idle-index oracle: a from-scratch linear scan with the original
+// tie-break (lowest idle_since, then lowest cpu id).
+CpuId ScanLongestIdle(const Scheduler& sched, int n_cores) {
+  CpuId best = kInvalidCpu;
+  Time best_since = kTimeNever;
+  for (CpuId cpu = 0; cpu < n_cores; ++cpu) {
+    if (!sched.IsOnline(cpu) || !sched.IsIdleCpu(cpu)) {
+      continue;
+    }
+    if (sched.IdleSince(cpu) < best_since) {
+      best_since = sched.IdleSince(cpu);
+      best = cpu;
+    }
+  }
+  return best;
 }
 
 // One invariant sweep over the whole machine at the current instant.
@@ -156,18 +175,7 @@ class InvariantChecker {
     // LongestIdleCpu must match a fresh linear scan with the original
     // tie-break (lowest idle_since, then lowest cpu).
     ASSERT_TRUE(sched.ValidateIdleIndex()) << "idle index diverged at t=" << now;
-    CpuId scan_best = kInvalidCpu;
-    Time scan_since = kTimeNever;
-    for (CpuId cpu = 0; cpu < n_cores; ++cpu) {
-      if (!sched.IsOnline(cpu) || !sched.IsIdleCpu(cpu)) {
-        continue;
-      }
-      if (sched.IdleSince(cpu) < scan_since) {
-        scan_since = sched.IdleSince(cpu);
-        scan_best = cpu;
-      }
-    }
-    ASSERT_EQ(sched.LongestIdleCpu(sim_->topo().AllCpus()), scan_best)
+    ASSERT_EQ(sched.LongestIdleCpu(sim_->topo().AllCpus()), ScanLongestIdle(sched, n_cores))
         << "indexed LongestIdleCpu disagrees with linear scan at t=" << now;
 
     // Sanity-checker parity with an independent scan.
@@ -223,6 +231,25 @@ struct RearmingCheck {
   }
 };
 
+// Random hotplug churn: periodically toggle one non-boot cpu. Cpu 0 stays
+// online so evacuation and affinity fallback always have a target. Same
+// self-rescheduling shape as RearmingCheck; the Rng lives out-of-line in the
+// test body because the callback must stay two pointers wide.
+struct RearmingHotplug {
+  Simulator* sim;
+  Rng* rng;
+  void operator()() const {
+    int n_cores = sim->topo().n_cores();
+    if (n_cores > 1) {
+      CpuId victim = static_cast<CpuId>(1 + rng->NextBelow(static_cast<uint64_t>(n_cores - 1)));
+      sim->SetCpuOnline(victim, !sim->sched().IsOnline(victim));
+    }
+    if (sim->Now() < kHorizon && !::testing::Test::HasFatalFailure()) {
+      sim->After(kHotplugInterval, *this);
+    }
+  }
+};
+
 TEST(FuzzInvariants, RandomTopologiesAndWorkloads) {
   uint64_t base = BaseSeed();
   for (int run = 0; run < kRuns; ++run) {
@@ -242,6 +269,13 @@ TEST(FuzzInvariants, RandomTopologiesAndWorkloads) {
     // Scheduled through the event queue so checks interleave
     // deterministically with scheduler activity.
     sim.After(kCheckInterval, RearmingCheck{&checker, &sim});
+    // Half the runs add hotplug churn, so the idle index, the group-stats
+    // memo, and domain regeneration are all fuzzed across offline/online
+    // transitions, not just in the steady topology.
+    Rng hotplug_rng(SplitMix64(sm));
+    if (rng.NextBool(0.5)) {
+      sim.After(kHotplugInterval / 2, RearmingHotplug{&sim, &hotplug_rng});
+    }
     sim.Run(kHorizon);
     if (::testing::Test::HasFatalFailure()) {
       return;
@@ -291,6 +325,170 @@ TEST(FuzzInvariants, SanityCheckerFiresOnStealableBacklog) {
         << "a core idles while cpu0 holds an unpinned waiting thread";
     EXPECT_EQ(overloaded_cpu, 0);
   }
+}
+
+// Regression (idle index vs. hotplug): repeatedly offline and online the
+// exact cpu the index would answer with — the head-of-list case, where a
+// stale link or a missed unlink corrupts every later query of that node's
+// list — and cross-check the indexed answer against the linear scan after
+// every transition and after scheduler activity in between.
+TEST(FuzzInvariants, IdleIndexSurvivesHotplugOfLongestIdleAnswer) {
+  uint64_t seed = BaseSeed() + 4242ULL;
+  SCOPED_TRACE(ReproCommand(seed));
+  uint64_t sm = seed;
+  Rng rng(SplitMix64(sm));
+
+  Topology topo = Topology::Bulldozer8x8();  // Multi-node: per-node idle lists.
+  Simulator::Options opts;
+  opts.features = RandomFeatures(rng);
+  opts.features.fix_overload_wakeup = true;  // Wakeups consult the index too.
+  opts.seed = seed;
+  Simulator sim(topo, opts);
+  SpawnRandomMix(sim, rng, 24);
+  sim.Run(Milliseconds(5));
+
+  const int n_cores = topo.n_cores();
+  int offlined_rounds = 0;
+  for (int round = 0; round < 40 && !::testing::Test::HasFatalFailure(); ++round) {
+    const Scheduler& sched = sim.sched();
+    ASSERT_EQ(sched.LongestIdleCpu(topo.AllCpus()), ScanLongestIdle(sched, n_cores))
+        << "round " << round << " before hotplug";
+    CpuId victim = sched.LongestIdleCpu(topo.AllCpus());
+    if (victim == kInvalidCpu) {
+      sim.Run(sim.Now() + Microseconds(700));
+      continue;
+    }
+    offlined_rounds += 1;
+
+    sim.SetCpuOnline(victim, false);
+    ASSERT_TRUE(sched.ValidateIdleIndex()) << "round " << round << " after offlining " << victim;
+    ASSERT_EQ(sched.LongestIdleCpu(topo.AllCpus()), ScanLongestIdle(sched, n_cores))
+        << "round " << round << " with cpu " << victim << " offline";
+    ASSERT_NE(sched.LongestIdleCpu(topo.AllCpus()), victim);
+
+    // Let wakeups, ticks, and balancing run against the shrunken topology.
+    sim.Run(sim.Now() + rng.NextTime(Microseconds(300), Milliseconds(2)));
+    ASSERT_TRUE(sched.ValidateIdleIndex()) << "round " << round;
+    ASSERT_EQ(sched.LongestIdleCpu(topo.AllCpus()), ScanLongestIdle(sched, n_cores))
+        << "round " << round << " after running with cpu " << victim << " offline";
+
+    sim.SetCpuOnline(victim, true);
+    ASSERT_TRUE(sched.ValidateIdleIndex()) << "round " << round << " after onlining " << victim;
+    ASSERT_EQ(sched.LongestIdleCpu(topo.AllCpus()), ScanLongestIdle(sched, n_cores))
+        << "round " << round << " with cpu " << victim << " back online";
+
+    sim.Run(sim.Now() + rng.NextTime(Microseconds(300), Milliseconds(2)));
+  }
+  EXPECT_GT(offlined_rounds, 10) << "machine was never idle enough to exercise the index";
+}
+
+// ---- Decay-forward exactness over random runnable sets ----------------------
+//
+// The balancer's cross-instant memos rest on one claim: when every member
+// tracker reports ConstantFrom(t0), the cached group sum at t0 *is* the
+// fresh per-entity re-sum at any later instant, bit for bit. This is that
+// claim as a property test — random populations, random weights, random
+// periods, 1..64 periods forward — rather than the directed cases in
+// pelt_test.cc.
+TEST(FuzzInvariants, DecayForwardBitIdenticalAcrossPeriods) {
+  uint64_t base = BaseSeed();
+  int const_seen = 0;
+  int nonconst_seen = 0;
+  int nonconst_moved = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    uint64_t seed = base + 77000ULL + static_cast<uint64_t>(run);
+    SCOPED_TRACE(ReproCommand(seed));
+    uint64_t sm = seed;
+    Rng rng(SplitMix64(sm));
+
+    // A population built from the histories that reach the constant domain
+    // in production: born-full hogs, never-ran entities, ramped-to-
+    // saturation hogs, and long-blocked sleepers (constant by horizon).
+    std::vector<LoadTracker> grp;
+    std::vector<double> weight;
+    const int n = static_cast<int>(rng.NextInRange(4, 24));
+    for (int i = 0; i < n; ++i) {
+      switch (rng.NextBelow(4)) {
+        case 0: {  // Born full and runnable from t=0.
+          grp.emplace_back(1.0);
+          grp.back().SetState(0, true);
+          break;
+        }
+        case 1: {  // Fully decayed and blocked.
+          grp.emplace_back(0.0);
+          grp.back().SetState(rng.NextTime(0, Milliseconds(40)), false);
+          break;
+        }
+        case 2: {  // Hog that ramped to exactly 1.0 by rounding.
+          grp.emplace_back(0.0);
+          grp.back().SetState(0, true);
+          grp.back().Advance(54 * LoadTracker::kHalfLife +
+                             rng.NextTime(0, Milliseconds(20)));
+          break;
+        }
+        default: {  // Mid-value sleeper; constant once t0 clears the horizon.
+          grp.emplace_back(rng.NextDouble());
+          grp.back().SetState(rng.NextTime(0, Milliseconds(40)), false);
+          break;
+        }
+      }
+      weight.push_back(0.1 + 4.0 * rng.NextDouble());
+    }
+    // Past every last_update by more than the saturation horizon, so each
+    // of the four histories is constant through its own case of the proof.
+    const Time t0 = Seconds(3) + rng.NextTime(0, Seconds(1));
+    const Time period = rng.NextTime(Microseconds(50), Milliseconds(20));
+
+    double cached = 0;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(grp[i].ConstantFrom(t0)) << "tracker " << i;
+      cached += weight[static_cast<size_t>(i)] * grp[i].ValueAt(t0);
+    }
+    for (int nper = 1; nper <= 64; ++nper) {
+      Time t1 = t0 + period * static_cast<Time>(nper);
+      double fresh = 0;  // Same fold order as the cached sum.
+      for (int i = 0; i < n; ++i) {
+        fresh += weight[static_cast<size_t>(i)] * grp[i].ValueAt(t1);
+      }
+      ASSERT_EQ(fresh, cached) << "period=" << period << " n=" << nper;
+    }
+
+    // Mixed population at a nearby instant: the per-entity form of the same
+    // claim. ConstantFrom(t0) must imply a bit-identical ValueAt at every
+    // later instant; trackers still in motion prove the test has teeth.
+    std::vector<LoadTracker> mixed;
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextBool(0.2)) {  // Constant by value (case 1), at any instant.
+        mixed.emplace_back(1.0);
+        mixed.back().SetState(0, true);
+      } else {  // In motion; constant only once m0 clears the horizon (case 3).
+        mixed.emplace_back(rng.NextDouble());
+        mixed.back().SetState(rng.NextTime(0, Milliseconds(200)), rng.NextBool(0.5));
+      }
+    }
+    const Time m0 = Milliseconds(200) + rng.NextTime(0, Milliseconds(900));
+    for (int i = 0; i < n; ++i) {
+      const bool is_const = mixed[static_cast<size_t>(i)].ConstantFrom(m0);
+      const double v0 = mixed[static_cast<size_t>(i)].ValueAt(m0);
+      bool moved = false;
+      for (int nper = 1; nper <= 64; ++nper) {
+        double v1 = mixed[static_cast<size_t>(i)].ValueAt(m0 + period * static_cast<Time>(nper));
+        if (is_const) {
+          ASSERT_EQ(v1, v0) << "tracker " << i << " n=" << nper;
+        } else if (v1 != v0) {
+          moved = true;
+        }
+      }
+      const_seen += is_const ? 1 : 0;
+      nonconst_seen += is_const ? 0 : 1;
+      nonconst_moved += moved ? 1 : 0;
+    }
+  }
+  // The property must not hold vacuously: across the runs both populations
+  // appear, and some non-constant tracker actually changed value.
+  EXPECT_GT(const_seen, 0);
+  EXPECT_GT(nonconst_seen, 0);
+  EXPECT_GT(nonconst_moved, 0);
 }
 
 }  // namespace

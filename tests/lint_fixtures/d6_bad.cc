@@ -1,0 +1,10 @@
+// D6 fixture: per-entity decayed-load reads in balancing code. Not
+// compiled — lint input only.
+
+double group_sum(SchedEntity* se, Time now) {
+  double load = se->load.ValueAt(now);               // tracked: member call
+  load += CfsRunqueue::EntityLoad(*se, now, 1.0);    // tracked: qualified call
+  load += rq.LoadAt(now, 1.0);                       // tracked: raw rq fold
+  load += RqLoadRecomputed(now, cpu);                // tracked: memo bypass
+  return load;
+}

@@ -179,6 +179,29 @@ TEST(LintRules, WarnDoesNotCountAsError) {
   EXPECT_EQ(r.warnings, 1);
 }
 
+TEST(LintRules, D6FlagsPerEntityLoadCallsOnly) {
+  std::string src =
+      "double a = se->load.ValueAt(now);\n"
+      "// wc-lint" ": allow(D6 single-entity migration pick)\n"
+      "double b = CfsRunqueue::EntityLoad(*se, now, 1.0);\n"
+      "int value_at = 0;\n"              // Identifier without a call: clean.
+      "double c = ValueAtHome(now);\n";  // Different identifier: clean.
+  FileLintResult r = LintSource("snippet.cc", src, AllError());
+  EXPECT_EQ(CountRule(r, "D6", /*suppressed=*/false), 1);
+  EXPECT_EQ(CountRule(r, "D6", /*suppressed=*/true), 1);
+  EXPECT_EQ(r.errors, 1);
+}
+
+TEST(LintPolicy, D6GlobScopesToBalancingFile) {
+  // The shape src/core/.wc-lint.policy uses: opt-in for the balancer file
+  // only, so RqLoadRecomputed's definition in scheduler.cc stays legal.
+  Policy p = ParsePolicy("D6 error scheduler_balance.cc\n");
+  std::map<std::string, Severity> defaults = {{"D6", Severity::kOff}};
+  EXPECT_EQ(ResolveSeverities({&p}, defaults, "scheduler_balance.cc").at("D6"),
+            Severity::kError);
+  EXPECT_EQ(ResolveSeverities({&p}, defaults, "scheduler.cc").at("D6"), Severity::kOff);
+}
+
 TEST(LintRules, TemplateScannerHandlesNestedClose) {
   // The >> closing both templates must not leave the scanner confused about
   // the *next* map's key.
