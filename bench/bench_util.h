@@ -17,6 +17,8 @@ namespace wcores {
 struct BenchOptions {
   std::string out_dir = "out";  // CSV/PGM artifacts land here.
   std::string telemetry_dir;    // Empty = telemetry reports disabled.
+  std::string stream_dir;       // --telemetry-stream artifacts; see below.
+  bool stream = false;          // Streaming pipeline requested.
 };
 
 // A binary-specific flag, parsed alongside the shared set. Matches
@@ -28,16 +30,20 @@ struct BenchFlag {
 };
 
 // Parses the shared flags — --out=DIR, --telemetry[=DIR] (bare --telemetry
-// defaults to <out_dir>/telemetry) — plus any binary-specific `extra`
-// flags. Unknown flags abort with a usage message listing everything, so
-// the binaries stay runnable with no arguments, as CI expects.
+// defaults to <out_dir>/telemetry), --telemetry-stream[=DIR] (the bounded
+// streaming pipeline; bare form defaults to <out_dir>/stream) — plus any
+// binary-specific `extra` flags. Unknown flags abort with a usage message
+// listing everything, so the binaries stay runnable with no arguments, as
+// CI expects.
 inline BenchOptions ParseBenchArgs(int argc, char** argv,
                                    const std::vector<BenchFlag>& extra = {}) {
   BenchOptions opts;
   bool telemetry = false;
   auto usage = [&](const char* bad) {
-    std::fprintf(stderr, "unknown argument '%s'\nusage: %s [--out=DIR] [--telemetry[=DIR]]", bad,
-                 argv[0]);
+    std::fprintf(stderr,
+                 "unknown argument '%s'\nusage: %s [--out=DIR] [--telemetry[=DIR]]"
+                 " [--telemetry-stream[=DIR]]",
+                 bad, argv[0]);
     for (const BenchFlag& f : extra) {
       std::fprintf(stderr, " [--%s=V]", f.name);
     }
@@ -61,6 +67,15 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv,
       opts.telemetry_dir = arg.substr(12);
       continue;
     }
+    if (arg == "--telemetry-stream") {
+      opts.stream = true;
+      continue;
+    }
+    if (arg.rfind("--telemetry-stream=", 0) == 0) {
+      opts.stream = true;
+      opts.stream_dir = arg.substr(19);
+      continue;
+    }
     bool matched = false;
     for (const BenchFlag& f : extra) {
       std::string prefix = std::string("--") + f.name + "=";
@@ -76,6 +91,9 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv,
   }
   if (telemetry && opts.telemetry_dir.empty()) {
     opts.telemetry_dir = opts.out_dir + "/telemetry";
+  }
+  if (opts.stream && opts.stream_dir.empty()) {
+    opts.stream_dir = opts.out_dir + "/stream";
   }
   return opts;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/stream_util.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/telemetry.h"
 #include "src/tools/sanity_checker.h"
@@ -28,12 +29,19 @@ namespace {
 // other 56 cores idle. Returns true if the checker confirmed at least one
 // violation.
 bool DetectedOnce(Time episode, Time period, Time total, uint64_t seed,
-                  std::string* example_report) {
+                  std::string* example_report, const BenchOptions& bench_opts,
+                  uint64_t* starvation_findings, std::string* last_stream_json) {
   Topology topo = Topology::Bulldozer8x8();
   // A small telemetry session rides along so confirmed violations carry a
   // machine-wide latency digest (the recorder stays tiny; only the latency
   // accountant matters here).
   TelemetrySession telemetry(topo.n_cores(), /*recorder_capacity=*/1 << 12);
+  if (bench_opts.stream) {
+    // The streaming starvation detector rides along as the second invariant
+    // monitor of §4.1: per-task runnable-but-off-cpu horizons, next to the
+    // checker's machine-level idle-while-overloaded invariant.
+    telemetry.AttachStream(TelemetryStream::ForTopology(topo));
+  }
   Simulator::Options opts;
   opts.seed = seed;
   Simulator sim(topo, opts, telemetry.sink());
@@ -68,15 +76,21 @@ bool DetectedOnce(Time episode, Time period, Time total, uint64_t seed,
   if (example_report != nullptr && example_report->empty() && !checker.violations().empty()) {
     *example_report = SanityChecker::Report(checker.violations().front());
   }
+  if (TelemetryStream* stream = telemetry.stream()) {
+    stream->Finish(sim.Now());
+    *starvation_findings += stream->analyzer().findings_total();
+    *last_stream_json = stream->SummaryJson();
+  }
   return !checker.violations().empty();
 }
 
 double DetectionProbability(Time episode, Time period, Time total, int runs,
-                            std::string* example_report) {
+                            std::string* example_report, const BenchOptions& bench_opts,
+                            uint64_t* starvation_findings, std::string* last_stream_json) {
   int hits = 0;
   for (int r = 0; r < runs; ++r) {
     if (DetectedOnce(episode, period, total, 1000 + 31 * static_cast<uint64_t>(r),
-                     example_report)) {
+                     example_report, bench_opts, starvation_findings, last_stream_json)) {
       ++hits;
     }
   }
@@ -110,8 +124,11 @@ int main(int argc, char** argv) {
       {Milliseconds(400), Seconds(4), Seconds(160)},
   };
   std::string example_report;
+  uint64_t starvation_findings = 0;
+  std::string last_stream_json;
   for (const Row& row : kRows) {
-    double p = DetectionProbability(row.episode, row.period, row.total, kRuns, &example_report);
+    double p = DetectionProbability(row.episode, row.period, row.total, kRuns, &example_report,
+                                    opts, &starvation_findings, &last_stream_json);
     char label[64];
     std::snprintf(label, sizeof(label), "%.0fms / %.0fs", ToMilliseconds(row.episode),
                   ToSeconds(row.period));
@@ -129,6 +146,19 @@ int main(int argc, char** argv) {
               "CSV: %s/checker_detection.csv\n", opts.out_dir.c_str());
   if (!example_report.empty()) {
     std::printf("\nexample confirmed violation (with latency digest):\n%s", example_report.c_str());
+  }
+  if (opts.stream) {
+    std::printf("\nstreaming starvation detector (second monitor, 100ms horizon): "
+                "%llu findings across all runs\n",
+                static_cast<unsigned long long>(starvation_findings));
+    if (!last_stream_json.empty()) {
+      std::printf("STREAM checker_detection_last_ %s\n", last_stream_json.c_str());
+      std::error_code ec;
+      std::filesystem::create_directories(opts.stream_dir, ec);
+      std::ofstream out(std::filesystem::path(opts.stream_dir) / "checker_detection_stream.json",
+                        std::ios::binary | std::ios::trunc);
+      out << last_stream_json << "\n";
+    }
   }
   return 0;
 }

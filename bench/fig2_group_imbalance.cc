@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/stream_util.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/telemetry.h"
 #include "src/tools/heatmap.h"
@@ -30,6 +31,9 @@ struct RunOutput {
 RunOutput RunMakeR(bool fixed, const BenchOptions& bench_opts) {
   Topology topo = Topology::Bulldozer8x8();
   TelemetrySession telemetry(topo.n_cores());
+  std::string label = fixed ? "fig2_fixed_" : "fig2_stock_";
+  BenchStream stream;
+  stream.Attach(bench_opts, &telemetry, topo, label);
   Simulator::Options opts;
   opts.features.fix_group_imbalance = fixed;
   opts.seed = 3001;
@@ -53,10 +57,11 @@ RunOutput RunMakeR(bool fixed, const BenchOptions& bench_opts) {
   const std::vector<TraceEvent>& events = telemetry.recorder().events();
   out.nr = BuildHeatmap(events, TraceEvent::Kind::kNrRunning, topo.n_cores(), 0, window, 110);
   out.load = BuildHeatmap(events, TraceEvent::Kind::kLoad, topo.n_cores(), 0, window, 110);
+  stream.Finish(bench_opts, &telemetry, sim.Now(), label);
   if (!bench_opts.telemetry_dir.empty()) {
     std::string error;
-    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(),
-                                fixed ? "fig2_fixed_" : "fig2_stock_", &error)) {
+    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(), label,
+                                &error)) {
       std::fprintf(stderr, "telemetry: %s\n", error.c_str());
     }
   }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/stream_util.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/telemetry.h"
 #include "src/tools/heatmap.h"
@@ -32,6 +33,9 @@ struct RunOutput {
 RunOutput RunDb(bool fixed, const BenchOptions& bench_opts) {
   Topology topo = Topology::Bulldozer8x8();
   TelemetrySession telemetry(topo.n_cores());
+  std::string label = fixed ? "fig3_fixed_" : "fig3_stock_";
+  BenchStream stream;
+  stream.Attach(bench_opts, &telemetry, topo, label);
   Simulator::Options opts;
   opts.features.fix_overload_wakeup = fixed;
   opts.features.autogroup_enabled = false;  // As in the paper's Figure 3 runs.
@@ -75,10 +79,11 @@ RunOutput RunDb(bool fixed, const BenchOptions& bench_opts) {
   out.wakeups_on_busy = sim.sched().stats().wakeups_on_busy;
   out.nr = BuildHeatmap(telemetry.recorder().events(), TraceEvent::Kind::kNrRunning,
                         topo.n_cores(), 0, wl.TotalTime(), 110);
+  stream.Finish(bench_opts, &telemetry, sim.Now(), label);
   if (!bench_opts.telemetry_dir.empty()) {
     std::string error;
-    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(),
-                                fixed ? "fig3_fixed_" : "fig3_stock_", &error)) {
+    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(), label,
+                                &error)) {
       std::fprintf(stderr, "telemetry: %s\n", error.c_str());
     }
   }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/stream_util.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/telemetry.h"
 #include "src/tools/heatmap.h"
@@ -30,6 +31,9 @@ struct RunOutput {
 RunOutput Run(bool fixed, const BenchOptions& bench_opts) {
   Topology topo = Topology::Bulldozer8x8();
   TelemetrySession telemetry(topo.n_cores());
+  std::string label = fixed ? "fig5_fixed_" : "fig5_stock_";
+  BenchStream stream;
+  stream.Attach(bench_opts, &telemetry, topo, label);
   EventRecorder& recorder = telemetry.recorder();
   Simulator::Options opts;
   opts.features.fix_missing_domains = fixed;
@@ -66,10 +70,11 @@ RunOutput Run(bool fixed, const BenchOptions& bench_opts) {
     }
   }
   out.completion_s = ToSeconds(wl.CompletionTime());
+  stream.Finish(bench_opts, &telemetry, sim.Now(), label);
   if (!bench_opts.telemetry_dir.empty()) {
     std::string error;
-    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(),
-                                fixed ? "fig5_fixed_" : "fig5_stock_", &error)) {
+    if (!telemetry.WriteReports(bench_opts.telemetry_dir, sim.sched(), sim.Now(), label,
+                                &error)) {
       std::fprintf(stderr, "telemetry: %s\n", error.c_str());
     }
   }

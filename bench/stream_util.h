@@ -1,0 +1,67 @@
+// --telemetry-stream wiring shared by the reproduction binaries.
+//
+// Usage, once per simulated run:
+//   TelemetrySession telemetry(topo.n_cores());
+//   BenchStream stream;
+//   stream.Attach(bench_opts, &telemetry, topo, "fig2_stock_");
+//   Simulator sim(topo, opts, telemetry.sink());
+//   ... run ...
+//   stream.Finish(bench_opts, &telemetry, sim.Now(), "fig2_stock_");
+//
+// Attach is a no-op unless --telemetry-stream[=DIR] was given. Finish closes
+// the pipeline, prints the one-line JSON summary to stdout (prefixed with
+// "STREAM <label>" so sweeps stay grep-able) and writes <label>stream.json
+// plus the Gantt span CSV under the stream directory.
+#ifndef BENCH_STREAM_UTIL_H_
+#define BENCH_STREAM_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/telemetry/telemetry.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+
+struct BenchStream {
+  std::ofstream spans;
+
+  void Attach(const BenchOptions& opts, TelemetrySession* telemetry, const Topology& topo,
+              const std::string& label, Time starvation_horizon = Milliseconds(100)) {
+    if (!opts.stream) {
+      return;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(opts.stream_dir, ec);
+    spans.open(std::filesystem::path(opts.stream_dir) / (label + "spans.csv"),
+               std::ios::binary | std::ios::trunc);
+    TelemetryStream::Options stream_opts =
+        TelemetryStream::ForTopology(topo, starvation_horizon);
+    stream_opts.analyzer.span_out = spans.is_open() ? &spans : nullptr;
+    telemetry->AttachStream(std::move(stream_opts));
+  }
+
+  void Finish(const BenchOptions& opts, TelemetrySession* telemetry, Time now,
+              const std::string& label) {
+    TelemetryStream* stream = telemetry->stream();
+    if (stream == nullptr) {
+      return;
+    }
+    stream->Finish(now);
+    std::string json = stream->SummaryJson();
+    std::printf("STREAM %s %s\n", label.c_str(), json.c_str());
+    std::ofstream out(std::filesystem::path(opts.stream_dir) / (label + "stream.json"),
+                      std::ios::binary | std::ios::trunc);
+    out << json << "\n";
+    if (spans.is_open()) {
+      spans.close();
+    }
+  }
+};
+
+}  // namespace wcores
+
+#endif  // BENCH_STREAM_UTIL_H_

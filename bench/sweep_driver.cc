@@ -6,7 +6,17 @@
 // not change behavior), and reports the scaling curve. Emits
 // BENCH_sweep.json with per-scenario results and per-thread-count wall
 // times so the perf trajectory is machine-readable.
+//
+// --telemetry-stream attaches the bounded-memory streaming pipeline to every
+// scenario (one STREAM summary line per run, sweep_stream.jsonl artifact)
+// and cross-checks that attachment leaves every trace hash byte-identical.
+// --big-mix=MIN_EVENTS instead runs one huge random mix in a single pass
+// with the stream attached and asserts the pipeline's contract at scale:
+// >= MIN_EVENTS trace events, zero ring drops, and peak aggregator memory
+// within the O(tasks + cpus) budget.
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <thread>
@@ -19,8 +29,68 @@
 namespace wcores {
 namespace {
 
+// One-pass soak of the streaming pipeline. Scenario sizing (threads, scale,
+// horizon) is pinned so the run deterministically crosses the event floor;
+// the floor itself stays a flag so CI's intent ("at least ten million") is
+// visible at the call site.
+int RunBigMix(const BenchOptions& opts, uint64_t min_events, uint64_t seed) {
+  PrintHeader("Streaming-telemetry soak: one-pass big random mix",
+              "bounded-memory analytics over a >=10M-event trace (§4 methodology)");
+
+  Scenario s;
+  s.name = "big_mix/" + std::to_string(seed);
+  s.topo = Scenario::Topo::kBulldozer8x8;
+  s.workload = Scenario::Workload::kRandomMix;
+  s.mix_threads = 4096;
+  s.scale = 8.0;  // 40% of the mix become 16s compute hogs: sustained churn.
+  s.seed = seed;
+  s.horizon = Seconds(200);
+  s.stream = true;
+
+  std::printf("scenario: %s  threads=%d scale=%.1f horizon=%.0fs\n", s.name.c_str(),
+              s.mix_threads, s.scale, ToSeconds(s.horizon));
+  ScenarioResult r = RunScenario(s);
+
+  std::printf("trace_events=%llu  switches=%llu  migrations=%llu  wall=%.1f ms\n",
+              static_cast<unsigned long long>(r.trace_events),
+              static_cast<unsigned long long>(r.context_switches),
+              static_cast<unsigned long long>(r.migrations), r.wall_ms);
+  std::printf("STREAM %s %s\n", r.name.c_str(), r.stream_summary.c_str());
+  std::printf("memory: peak=%llu budget=%llu (%.1f%% used), ring drops=%llu\n",
+              static_cast<unsigned long long>(r.stream_agg_bytes_peak),
+              static_cast<unsigned long long>(r.stream_budget_bytes),
+              100.0 * static_cast<double>(r.stream_agg_bytes_peak) /
+                  static_cast<double>(r.stream_budget_bytes ? r.stream_budget_bytes : 1),
+              static_cast<unsigned long long>(r.stream_ring_dropped));
+
+  // The pipeline's contract, enforced: every event analyzed in one pass,
+  // nothing silently lost, memory bounded by O(tasks + cpus).
+  WC_CHECK(r.trace_events >= min_events, "big-mix produced fewer trace events than required");
+  WC_CHECK(r.stream_ring_dropped == 0, "streaming ring dropped records while draining in-line");
+  WC_CHECK(r.stream_events == r.trace_events,
+           "stream analyzed a different event count than the trace hash saw");
+  WC_CHECK(r.stream_within_budget, "stream aggregator memory exceeded the O(tasks+cpus) budget");
+
+  BenchReport report;
+  report.bench = "stream_soak";
+  report.context_num["min_events"] = static_cast<double>(min_events);
+  BenchReport::Row row;
+  row.name = r.name;
+  row.metrics["trace_events"] = static_cast<double>(r.trace_events);
+  row.metrics["context_switches"] = static_cast<double>(r.context_switches);
+  row.metrics["wall_ms"] = r.wall_ms;
+  row.metrics["agg_bytes_peak"] = static_cast<double>(r.stream_agg_bytes_peak);
+  row.metrics["budget_bytes"] = static_cast<double>(r.stream_budget_bytes);
+  row.metrics["ring_dropped"] = static_cast<double>(r.stream_ring_dropped);
+  row.metrics["starvation_findings"] = static_cast<double>(r.stream_findings);
+  report.rows.push_back(std::move(row));
+  report.Write(opts);
+  std::printf("wrote %s/BENCH_stream_soak.json\n", opts.out_dir.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
-  std::string threads_s, scale_s, random_s, seed_s;
+  std::string threads_s, scale_s, random_s, seed_s, bigmix_s;
   BenchOptions opts = ParseBenchArgs(
       argc, argv,
       {
@@ -28,6 +98,8 @@ int Main(int argc, char** argv) {
           {"scale", &scale_s, "workload scale factor (default 0.25)"},
           {"random", &random_s, "extra random scenarios to append (default 6)"},
           {"seed", &seed_s, "seed for the random scenarios (default 99)"},
+          {"big-mix", &bigmix_s,
+           "skip the matrix; run one huge streamed random mix and assert >= this many events"},
       });
   unsigned hw = std::thread::hardware_concurrency();
   int max_threads = threads_s.empty() ? static_cast<int>(hw ? hw : 1) : std::stoi(threads_s);
@@ -38,11 +110,20 @@ int Main(int argc, char** argv) {
   int random_count = random_s.empty() ? 6 : std::stoi(random_s);
   uint64_t seed = seed_s.empty() ? 99 : std::stoull(seed_s);
 
+  if (!bigmix_s.empty()) {
+    return RunBigMix(opts, std::stoull(bigmix_s), seed);
+  }
+
   PrintHeader("Parallel scenario sweep", "§4 evaluation methodology (scenario matrix)");
 
   std::vector<Scenario> scenarios = FigureScenarios(scale);
   for (Scenario& s : RandomScenarios(seed, random_count)) {
     scenarios.push_back(std::move(s));
+  }
+  if (opts.stream) {
+    for (Scenario& s : scenarios) {
+      s.stream = true;
+    }
   }
   std::printf("%zu scenarios, up to %d host threads (host has %u)\n\n", scenarios.size(),
               max_threads, hw);
@@ -113,9 +194,46 @@ int Main(int argc, char** argv) {
     for (const auto& [k, v] : r.metrics) {
       row.metrics[k] = v;
     }
+    if (opts.stream) {
+      row.metrics["stream_agg_bytes_peak"] = static_cast<double>(r.stream_agg_bytes_peak);
+      row.metrics["stream_budget_bytes"] = static_cast<double>(r.stream_budget_bytes);
+      row.metrics["stream_ring_dropped"] = static_cast<double>(r.stream_ring_dropped);
+      row.metrics["stream_findings"] = static_cast<double>(r.stream_findings);
+    }
     report.rows.push_back(std::move(row));
   }
   report.context_num["virtual_seconds_total"] = total_virtual;
+
+  if (opts.stream) {
+    // One summary line per run, plus a jsonl artifact, plus the pure-observer
+    // cross-check: the same matrix without the stream must hash identically.
+    std::printf("\nstreaming summaries (one line per scenario):\n");
+    std::error_code ec;
+    std::filesystem::create_directories(opts.stream_dir, ec);
+    std::ofstream jsonl(std::filesystem::path(opts.stream_dir) / "sweep_stream.jsonl");
+    for (const ScenarioResult& r : last.results) {
+      std::printf("STREAM %s %s\n", r.name.c_str(), r.stream_summary.c_str());
+      jsonl << "{\"name\": \"" << JsonEscape(r.name) << "\", \"stream\": " << r.stream_summary
+            << "}\n";
+      WC_CHECK(r.stream_ring_dropped == 0, "streaming ring dropped records in the sweep");
+      WC_CHECK(r.stream_within_budget, "stream aggregator memory exceeded budget in the sweep");
+      WC_CHECK(r.stream_events == r.trace_events,
+               "stream analyzed a different event count than the trace hash saw");
+    }
+    std::vector<Scenario> bare = scenarios;
+    for (Scenario& s : bare) {
+      s.stream = false;
+    }
+    SweepOptions bare_opts;
+    bare_opts.threads = last.threads;
+    SweepReport bare_report = RunSweep(bare, bare_opts);
+    WC_CHECK(bare_report.CombinedHash() == reference_hash,
+             "attaching the streaming pipeline changed a trace hash");
+    std::printf("pure-observer check: %zu trace hashes identical without the stream (%016llx)\n",
+                bare_report.results.size(),
+                static_cast<unsigned long long>(bare_report.CombinedHash()));
+    std::printf("wrote %s/sweep_stream.jsonl\n", opts.stream_dir.c_str());
+  }
 
   // The scaling ratio downstream tooling reads (ROADMAP "sweep scaling
   // evidence"). On a 1-core host there is only the threads=1 row and no

@@ -18,6 +18,14 @@
 #                so the perf harness itself cannot bit-rot between perf PRs.
 #                Numbers from this stage are meaningless; only exit status
 #                and JSON emission matter.
+#   5. stream  - the streaming-telemetry soak: one >=10M-event random mix in
+#                a single pass with the bounded-memory pipeline attached.
+#                The binary's own WC_CHECKs enforce the contract (every
+#                event analyzed, zero ring drops, peak aggregator memory
+#                within the O(tasks+cpus) budget), so this stage fails the
+#                moment the analyzer stops being one-pass-bounded. Also runs
+#                the streamed sweep matrix, whose pure-observer cross-check
+#                re-runs the scenarios bare and compares combined hashes.
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 #   e.g. scripts/ci.sh -R Determinism
@@ -70,4 +78,13 @@ test -s "$SMOKE_OUT/BENCH_sweep.json"
 # silently absent, which downstream readers treat as a divide-by-missing-row.
 grep -Eq '"scaling": (null|[0-9.]+)' "$SMOKE_OUT/BENCH_sweep.json"
 
-echo "CI OK: lint + release + asan-ubsan + tsan + bench smoke all green."
+echo "==== [stream] big-mix soak (>=10M events, bounded memory) ===="
+./build-release/bench/sweep_driver --out="$SMOKE_OUT" --seed=4242 --big-mix=10000000
+test -s "$SMOKE_OUT/BENCH_stream_soak.json"
+grep -q '"ring_dropped": 0' "$SMOKE_OUT/BENCH_stream_soak.json"
+echo "==== [stream] streamed sweep matrix + pure-observer cross-check ===="
+./build-release/bench/sweep_driver --out="$SMOKE_OUT" --threads=2 --scale=0.02 \
+  --random=1 --telemetry-stream="$SMOKE_OUT/stream"
+test -s "$SMOKE_OUT/stream/sweep_stream.jsonl"
+
+echo "CI OK: lint + release + asan-ubsan + tsan + bench smoke + stream soak all green."

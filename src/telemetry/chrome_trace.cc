@@ -63,9 +63,20 @@ class EventWriter {
 
 }  // namespace
 
-std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus) {
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus,
+                            size_t max_events) {
   EventWriter w;
   char buf[192];
+  size_t n_export = events.size();
+  bool truncated = false;
+  if (max_events > 0 && n_export > max_events) {
+    n_export = max_events;
+    truncated = true;
+    std::fprintf(stderr,
+                 "chrome_trace: trace has %zu events; exporting the first %zu and marking "
+                 "the timeline truncated (raise max_events or use the streaming summary)\n",
+                 events.size(), n_export);
+  }
 
   w.Meta("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
          "\"args\":{\"name\":\"wasted-cores simulated machine\"}}");
@@ -81,7 +92,8 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus) {
   // map suffices to balance B/E records defensively.
   std::map<int, int> open_slice;  // cpu -> tid of the open 'B'.
   double last_ts = 0;
-  for (const TraceEvent& e : events) {
+  for (size_t i = 0; i < n_export; ++i) {
+    const TraceEvent& e = events[i];
     double ts = ToMicroseconds(e.when);
     last_ts = ts;
     switch (e.kind) {
@@ -141,10 +153,18 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus) {
     }
   }
 
-  // Close slices still open at the end of the recording.
+  // Close slices still open at the end of the recording (or at the cut).
   for (const auto& [cpu, tid] : open_slice) {
     std::snprintf(buf, sizeof(buf), "\"name\":\"tid %d\",\"cat\":\"sched\"", tid);
     w.Append('E', last_ts, cpu, buf);
+  }
+  if (truncated) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"name\":\"trace truncated\",\"cat\":\"meta\",\"s\":\"g\","
+                  "\"args\":{\"exported_events\":%llu,\"dropped_events\":%llu}",
+                  static_cast<unsigned long long>(n_export),
+                  static_cast<unsigned long long>(events.size() - n_export));
+    w.Append('i', last_ts, 0, buf);
   }
   return w.Join();
 }

@@ -17,7 +17,15 @@
 
 namespace wcores {
 
-std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus);
+// Source-event cap for the exporter. Perfetto's UI degrades well before the
+// JSON writer does, so huge traces are cut at the cap: slices still open at
+// the cut are closed, a "trace truncated" instant marks the spot, and a
+// warning goes to stderr. Streaming consumers (TelemetryStream) see every
+// event regardless; only the timeline artifact is bounded.
+inline constexpr size_t kChromeTraceMaxEvents = 1000000;
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events, int n_cpus,
+                            size_t max_events = kChromeTraceMaxEvents);
 
 // ---- Validation (tests, telemetry_smoke) ----------------------------------
 

@@ -1,0 +1,206 @@
+// The streaming analytics consumer: one pass over StreamRecords, O(1) work
+// per record, O(tasks + cpus) memory — the replacement for whole-trace
+// post-processing on runs too large to buffer.
+//
+// Maintains, incrementally:
+//   * per-task accumulators — runtime, queued wait, context switches,
+//     wakeups (and wakeup placement moves), migrations — plus P² sketches of
+//     rq-wait and on-cpu stint length per task;
+//   * the same two sketches per cpu, per NUMA node, and machine-wide, plus a
+//     machine wakeup-latency sketch;
+//   * a windowed Gantt/timeline emitter that flushes completed spans
+//     (tid, cpu, start, end, preempted) to an output stream instead of
+//     retaining the trace;
+//   * an online starvation detector (second invariant monitor next to
+//     src/tools/sanity_checker.h): a task observed runnable but off-cpu for
+//     longer than a configurable horizon raises a finding carrying a digest
+//     from the same snapshot-provider machinery the sanity checker uses.
+//
+// Starvation semantics (see DESIGN.md "Streaming telemetry"): the trace
+// shows a task runnable-but-off-cpu from a preemption (OnSwitchOut with
+// still_runnable) until its next OnSwitchIn. Such episodes are detected
+// *live*, in virtual time, when the horizon expires — independent of when
+// the ring is drained. A task whose queued wait began with a wakeup is
+// invisible until it first runs; those episodes are confirmed
+// retroactively at switch-in from the `waited` payload. Each episode yields
+// at most one finding.
+//
+// Everything is indexed by dense ids (tid, cpu, node) — never by pointer,
+// never hashed — so consumption order is the record order and the analyzer
+// is deterministic by construction.
+#ifndef SRC_TELEMETRY_STREAM_ANALYZER_H_
+#define SRC_TELEMETRY_STREAM_ANALYZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/entity.h"
+#include "src/simkit/time.h"
+#include "src/telemetry/stream/quantile.h"
+#include "src/telemetry/stream/record.h"
+
+namespace wcores {
+
+// One confirmed starvation episode.
+struct StreamFinding {
+  ThreadId tid = -1;
+  Time since = 0;        // When the task became runnable-but-off-cpu.
+  Time detected_at = 0;  // Horizon expiry (live) or first run (retroactive).
+  Time waited = 0;       // Off-cpu-while-runnable time at detection.
+  bool retroactive = false;
+  std::string digest;  // Snapshot provider output at detection, if set.
+};
+
+class StreamAnalyzer {
+ public:
+  struct Options {
+    int n_cpus = 0;
+    // Node index per cpu; empty means a single node.
+    std::vector<int> cpu_node;
+    Time starvation_horizon = Milliseconds(100);
+    // Called when a finding is confirmed; the result is stored in
+    // StreamFinding::digest (same contract as SanityChecker's
+    // latency_snapshot, so both monitors attach the same evidence).
+    std::function<std::string()> snapshot;
+    // Completed Gantt spans are flushed here as CSV lines when the window
+    // fills; null discards them (they are still counted).
+    std::ostream* span_out = nullptr;
+    size_t span_capacity = 4096;
+    size_t max_stored_findings = 32;
+  };
+
+  struct TaskStats {
+    uint64_t runtime_ns = 0;  // Sum of realized stints (OnSwitchOut ran).
+    uint64_t wait_ns = 0;     // Sum of queued waits (OnSwitchIn waited).
+    uint64_t switches = 0;
+    uint64_t wakeups = 0;
+    uint64_t wakeup_moves = 0;  // Wakeup placed on a different cpu than last.
+    uint64_t migrations = 0;
+    StreamingDistribution rq_wait;
+    StreamingDistribution oncpu;
+    // Starvation bookkeeping.
+    Time waiting_since = kTimeNever;
+    uint32_t epoch = 0;
+    int16_t last_wake_cpu = -1;
+    bool queued = false;   // Has a live entry in the deadline heap.
+    bool flagged = false;  // Current episode already produced a finding.
+    bool seen = false;
+  };
+
+  struct ScopeStats {
+    StreamingDistribution rq_wait;
+    StreamingDistribution oncpu;
+    StreamingDistribution wakeup;
+    uint64_t switches = 0;
+  };
+
+  explicit StreamAnalyzer(Options opts);
+
+  // Consume one record. Records must arrive in nondecreasing `when` order
+  // (the trace callbacks fire in virtual-time order).
+  void Consume(const StreamRecord& rec);
+
+  // Drains the deadline heap up to `end` and flushes the span window. Call
+  // once, after the last record.
+  void Finish(Time end);
+
+  // ---- Results ------------------------------------------------------------
+
+  uint64_t events() const { return events_; }
+  int n_cpus() const { return static_cast<int>(cpus_.size()); }
+  int n_nodes() const { return static_cast<int>(nodes_.size()); }
+  // Number of task slots (max tid + 1 observed).
+  size_t tasks() const { return tasks_.size(); }
+  const TaskStats& Task(ThreadId tid) const;
+  const ScopeStats& Cpu(CpuId cpu) const { return cpus_[cpu]; }
+  const ScopeStats& Node(int node) const { return nodes_[node]; }
+  const ScopeStats& Machine() const { return machine_; }
+
+  uint64_t migrations() const { return migrations_; }
+  uint64_t wakeups() const { return wakeups_; }
+  uint64_t spans_emitted() const { return spans_emitted_; }
+  Time idle_ns() const { return idle_ns_; }
+
+  const std::vector<StreamFinding>& findings() const { return findings_; }
+  uint64_t findings_total() const { return findings_total_; }
+  Time worst_wait() const { return worst_wait_; }
+  Time starvation_horizon() const { return opts_.starvation_horizon; }
+
+  // ---- Memory contract ----------------------------------------------------
+
+  // Exact current footprint of every growable structure, from capacities.
+  uint64_t AggregatorBytes() const;
+  // High-water mark of AggregatorBytes over the run.
+  uint64_t PeakAggregatorBytes() const { return peak_bytes_; }
+  // The O(tasks + cpus) budget the footprint must stay under: a fixed base
+  // plus linear terms in observed tasks and configured cpus/nodes (each with
+  // a 2x factor covering vector doubling). CI asserts peak <= budget.
+  uint64_t BudgetBytes() const;
+  bool WithinBudget() const { return PeakAggregatorBytes() <= BudgetBytes(); }
+
+  // One JSON object on one line: counters, per-scope percentile estimates,
+  // the memory contract, and the starvation verdict. Ring stats are passed
+  // in by the owning sink. Stable key order, deterministic values.
+  std::string SummaryJson(uint64_t ring_capacity, uint64_t ring_dropped) const;
+
+ private:
+  struct OpenSpan {
+    ThreadId tid = -1;
+    Time start = 0;
+    Time waited = 0;
+  };
+  struct Span {
+    Time start = 0;
+    Time end = 0;
+    ThreadId tid = -1;
+    int16_t cpu = -1;
+    uint8_t preempted = 0;
+  };
+  struct Deadline {
+    Time at = 0;
+    ThreadId tid = -1;
+    uint32_t epoch = 0;
+  };
+
+  static bool HeapOrder(const Deadline& a, const Deadline& b);
+
+  TaskStats& Slot(ThreadId tid);
+  ScopeStats& NodeOf(CpuId cpu);
+  void ProcessDeadlines(Time now);
+  void PushDeadline(Time at, ThreadId tid, uint32_t epoch);
+  void RaiseFinding(ThreadId tid, Time since, Time detected_at, Time waited, bool retroactive);
+  void EmitSpan(Time start, Time end, ThreadId tid, CpuId cpu, bool preempted);
+  void FlushSpans();
+  void UpdatePeak();
+
+  Options opts_;
+  uint64_t events_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t wakeups_ = 0;
+  Time idle_ns_ = 0;
+  Time last_when_ = 0;
+
+  std::vector<TaskStats> tasks_;  // Indexed by tid, grown on demand.
+  std::vector<ScopeStats> cpus_;  // Indexed by cpu, fixed at construction.
+  std::vector<ScopeStats> nodes_;
+  ScopeStats machine_;
+
+  std::vector<OpenSpan> open_;  // Indexed by cpu.
+  std::vector<Span> spans_;     // Fixed window, flushed when full.
+  size_t spans_buffered_ = 0;
+  uint64_t spans_emitted_ = 0;
+
+  std::vector<Deadline> heap_;  // Min-heap on (at, tid); <= 1 entry per task.
+  std::vector<StreamFinding> findings_;
+  uint64_t findings_total_ = 0;
+  Time worst_wait_ = 0;
+
+  uint64_t peak_bytes_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_TELEMETRY_STREAM_ANALYZER_H_

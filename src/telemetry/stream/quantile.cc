@@ -1,0 +1,101 @@
+#include "src/telemetry/stream/quantile.h"
+
+#include <algorithm>
+
+namespace wcores {
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    q_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(q_, q_ + 5);
+      // pos_ is already {1..5}; set the desired positions for p_.
+      want_[0] = 1;
+      want_[1] = 1 + 2 * p_;
+      want_[2] = 1 + 4 * p_;
+      want_[3] = 3 + 2 * p_;
+      want_[4] = 5;
+      step_[0] = 0;
+      step_[1] = p_ / 2;
+      step_[2] = p_;
+      step_[3] = (1 + p_) / 2;
+      step_[4] = 1;
+    }
+    return;
+  }
+
+  // Locate the cell containing x, extending the extremes if needed.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    if (x > q_[4]) {
+      q_[4] = x;
+    }
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && !(x < q_[k + 1])) {
+      ++k;
+    }
+  }
+
+  ++count_;
+  for (int i = k + 1; i < 5; ++i) {
+    pos_[i] += 1;
+  }
+  for (int i = 0; i < 5; ++i) {
+    want_[i] += step_[i];
+  }
+
+  // Nudge interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    double d = want_[i] - pos_[i];
+    if ((d >= 1 && pos_[i + 1] - pos_[i] > 1) || (d <= -1 && pos_[i - 1] - pos_[i] < -1)) {
+      double dir = d >= 1 ? 1 : -1;
+      double cand = Parabolic(i, dir);
+      if (!(q_[i - 1] < cand && cand < q_[i + 1])) {
+        cand = Linear(i, dir);
+      }
+      q_[i] = cand;
+      pos_[i] += dir;
+    }
+  }
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  double np = pos_[i + 1];
+  double nm = pos_[i - 1];
+  double n = pos_[i];
+  return q_[i] + d / (np - nm) *
+                     ((n - nm + d) * (q_[i + 1] - q_[i]) / (np - n) +
+                      (np - n - d) * (q_[i] - q_[i - 1]) / (n - nm));
+}
+
+double P2Quantile::Linear(int i, double d) const {
+  int j = i + static_cast<int>(d);
+  return q_[i] + d * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ >= 5) {
+    return q_[2];
+  }
+  // Exact small-sample path, matching Summary::Quantile's interpolation so
+  // the parity test holds from the first sample on.
+  double sorted[5];
+  std::copy(q_, q_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  double fpos = p_ * static_cast<double>(count_ - 1);
+  auto lo = static_cast<uint64_t>(fpos);
+  uint64_t hi = lo + 1 < count_ ? lo + 1 : count_ - 1;
+  double frac = fpos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace wcores

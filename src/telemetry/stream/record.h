@@ -1,0 +1,59 @@
+// Compact binary trace records for the streaming telemetry pipeline.
+//
+// Every TraceSink callback is encoded into one fixed-size 24-byte POD so a
+// bounded ring buffer of them has a bounded, predictable footprint — the
+// in-simulator analogue of the perf/eBPF ringbuf record formats the SchedLab
+// consumer model reads. The encoding is lossy only where the analytics allow
+// it: a kConsidered record carries the popcount of the considered set, not
+// the set itself (the streaming aggregates never need the individual cores,
+// and a CpuSet would quadruple the record size).
+#ifndef SRC_TELEMETRY_STREAM_RECORD_H_
+#define SRC_TELEMETRY_STREAM_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/simkit/time.h"
+
+namespace wcores {
+
+enum class StreamKind : uint8_t {
+  kNrRunning,      // value = new runqueue size of `cpu`.
+  kLoad,           // value = bit pattern of the new load (double).
+  kConsidered,     // value = popcount of the considered set; sub = kind.
+  kMigration,      // value = destination cpu; cpu = source; sub = reason.
+  kSwitchIn,       // value = ns waited queued before running on `cpu`.
+  kSwitchOut,      // value = ns ran; sub = 1 if still runnable.
+  kWakeupLatency,  // value = ns from wakeup to first run.
+  kIdleEnter,      // `cpu` ran out of work.
+  kIdleExit,       // value = ns `cpu` sat idle.
+};
+
+struct StreamRecord {
+  Time when = 0;       // 8B: virtual timestamp, nanoseconds.
+  uint64_t value = 0;  // 8B: payload; meaning depends on `kind` (above).
+  int32_t tid = -1;    // 4B: thread, or -1 for cpu-only records.
+  int16_t cpu = -1;    // 2B: cpu (source cpu for kMigration).
+  StreamKind kind = StreamKind::kNrRunning;  // 1B.
+  uint8_t sub = 0;     // 1B: ConsideredKind / MigrationReason / runnable bit.
+};
+
+static_assert(sizeof(StreamRecord) == 24, "StreamRecord must stay compact");
+
+// kLoad payload: the double's bit pattern, so the record stays one integer
+// word and the round-trip is exact.
+inline uint64_t PackLoad(double load) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &load, sizeof(bits));
+  return bits;
+}
+
+inline double UnpackLoad(uint64_t bits) {
+  double load = 0;
+  std::memcpy(&load, &bits, sizeof(load));
+  return load;
+}
+
+}  // namespace wcores
+
+#endif  // SRC_TELEMETRY_STREAM_RECORD_H_

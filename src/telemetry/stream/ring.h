@@ -1,0 +1,80 @@
+// Fixed-capacity single-producer / single-consumer ring of StreamRecords.
+//
+// The contract the streaming pipeline is built on: memory is allocated once,
+// up front, and never grows; when the consumer falls behind, records are
+// dropped at the producer side and *counted* — never silently lost, never
+// buffered without bound. This mirrors the kernel ringbuf discipline the
+// SchedLab consumer model assumes (a reader polling a bounded buffer, with a
+// `dropped` counter it must surface).
+//
+// In-simulator both ends run on the simulation thread, so the indices are
+// plain integers; the layout (head touched only by the consumer, tail only
+// by the producer, capacity a power of two) is the standard SPSC shape, so
+// promoting the indices to atomics is all a threaded split would need.
+#ifndef SRC_TELEMETRY_STREAM_RING_H_
+#define SRC_TELEMETRY_STREAM_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/telemetry/stream/record.h"
+
+namespace wcores {
+
+class SpscRing {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 8).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 8;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_ = std::make_unique<StreamRecord[]>(cap);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+  size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == capacity(); }
+
+  // Producer side. Returns false (and leaves the ring unchanged) when full;
+  // the caller decides whether that is a drain opportunity or a drop.
+  bool TryPush(const StreamRecord& rec) {
+    if (full()) {
+      return false;
+    }
+    slots_[tail_ & mask_] = rec;
+    ++tail_;
+    return true;
+  }
+
+  // Explicit loss accounting: every record that could not be pushed must be
+  // recorded here so `dropped()` is the exact count of lost events.
+  void CountDrop() { ++dropped_; }
+  uint64_t dropped() const { return dropped_; }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(StreamRecord* out) {
+    if (empty()) {
+      return false;
+    }
+    *out = slots_[head_ & mask_];
+    ++head_;
+    return true;
+  }
+
+  uint64_t total_pushed() const { return tail_; }
+
+ private:
+  std::unique_ptr<StreamRecord[]> slots_;
+  size_t mask_ = 0;
+  uint64_t head_ = 0;  // Consumer cursor.
+  uint64_t tail_ = 0;  // Producer cursor.
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_TELEMETRY_STREAM_RING_H_

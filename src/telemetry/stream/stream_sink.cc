@@ -1,0 +1,19 @@
+#include "src/telemetry/stream/stream_sink.h"
+
+#include "src/topo/topology.h"
+
+namespace wcores {
+
+TelemetryStream::Options TelemetryStream::ForTopology(const Topology& topo,
+                                                      Time starvation_horizon) {
+  Options opts;
+  opts.analyzer.n_cpus = topo.n_cores();
+  opts.analyzer.cpu_node.resize(topo.n_cores());
+  for (int cpu = 0; cpu < topo.n_cores(); ++cpu) {
+    opts.analyzer.cpu_node[cpu] = topo.NodeOf(cpu);
+  }
+  opts.analyzer.starvation_horizon = starvation_horizon;
+  return opts;
+}
+
+}  // namespace wcores

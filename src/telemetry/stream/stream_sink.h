@@ -1,0 +1,132 @@
+// TelemetryStream: the TraceSink facade of the streaming pipeline.
+//
+// Producer side of the bounded pipeline: every trace callback is encoded
+// into a 24-byte StreamRecord and pushed into the SPSC ring; the
+// StreamAnalyzer drains the ring and folds each record into its O(1)
+// incremental aggregates. When the ring fills, the sink either drains it
+// in-line (the in-process default — no loss, still bounded) or, with
+// drain_on_full off (a threaded consumer, or the tests exercising loss
+// accounting), counts the drop explicitly.
+//
+// Attach alone or via MultiSink; the stream never mutates scheduler state,
+// so trace hashes are byte-identical with or without it. Call Finish(now)
+// after the run, then SummaryJson() for the one-line machine-readable
+// summary.
+#ifndef SRC_TELEMETRY_STREAM_STREAM_SINK_H_
+#define SRC_TELEMETRY_STREAM_STREAM_SINK_H_
+
+#include <string>
+
+#include "src/core/trace.h"
+#include "src/telemetry/stream/analyzer.h"
+#include "src/telemetry/stream/record.h"
+#include "src/telemetry/stream/ring.h"
+
+namespace wcores {
+
+class Topology;
+
+class TelemetryStream : public TraceSink {
+ public:
+  struct Options {
+    size_t ring_capacity = 1 << 16;  // Records; 24B each -> 1.5 MiB default.
+    bool drain_on_full = true;
+    StreamAnalyzer::Options analyzer;
+  };
+
+  // Convenience: options wired for `topo` (n_cpus + cpu->node map).
+  static Options ForTopology(const Topology& topo,
+                             Time starvation_horizon = Milliseconds(100));
+
+  explicit TelemetryStream(Options opts)
+      : drain_on_full_(opts.drain_on_full), ring_(opts.ring_capacity),
+        analyzer_(std::move(opts.analyzer)) {}
+
+  // ---- TraceSink ----------------------------------------------------------
+
+  void OnNrRunning(Time now, CpuId cpu, int nr_running) override {
+    Push(StreamRecord{now, static_cast<uint64_t>(nr_running), -1,
+                      static_cast<int16_t>(cpu), StreamKind::kNrRunning, 0});
+  }
+  void OnLoad(Time now, CpuId cpu, double load) override {
+    Push(StreamRecord{now, PackLoad(load), -1, static_cast<int16_t>(cpu), StreamKind::kLoad, 0});
+  }
+  void OnConsidered(Time now, CpuId initiator, const CpuSet& considered,
+                    ConsideredKind kind) override {
+    Push(StreamRecord{now, static_cast<uint64_t>(considered.Count()), -1,
+                      static_cast<int16_t>(initiator), StreamKind::kConsidered,
+                      static_cast<uint8_t>(kind)});
+  }
+  void OnMigration(Time now, ThreadId tid, CpuId from, CpuId to, MigrationReason reason) override {
+    Push(StreamRecord{now, static_cast<uint64_t>(to), tid, static_cast<int16_t>(from),
+                      StreamKind::kMigration, static_cast<uint8_t>(reason)});
+  }
+  void OnSwitchIn(Time now, CpuId cpu, ThreadId tid, Time waited) override {
+    Push(StreamRecord{now, waited, tid, static_cast<int16_t>(cpu), StreamKind::kSwitchIn, 0});
+  }
+  void OnSwitchOut(Time now, CpuId cpu, ThreadId tid, Time ran, bool still_runnable) override {
+    Push(StreamRecord{now, ran, tid, static_cast<int16_t>(cpu), StreamKind::kSwitchOut,
+                      static_cast<uint8_t>(still_runnable ? 1 : 0)});
+  }
+  void OnWakeupLatency(Time now, CpuId cpu, ThreadId tid, Time latency) override {
+    Push(StreamRecord{now, latency, tid, static_cast<int16_t>(cpu), StreamKind::kWakeupLatency, 0});
+  }
+  void OnIdleEnter(Time now, CpuId cpu) override {
+    Push(StreamRecord{now, 0, -1, static_cast<int16_t>(cpu), StreamKind::kIdleEnter, 0});
+  }
+  void OnIdleExit(Time now, CpuId cpu, Time idle_for) override {
+    Push(StreamRecord{now, idle_for, -1, static_cast<int16_t>(cpu), StreamKind::kIdleExit, 0});
+  }
+
+  // ---- Pipeline control ---------------------------------------------------
+
+  // Drains outstanding records and closes the analyzer at virtual time
+  // `end` (deadline sweep + span flush). Idempotent per run.
+  void Finish(Time end) {
+    Drain();
+    analyzer_.Finish(end);
+  }
+
+  // Events offered by the trace; events_seen() - ring().dropped() were
+  // analyzed.
+  uint64_t events_seen() const { return events_seen_; }
+
+  const SpscRing& ring() const { return ring_; }
+  StreamAnalyzer& analyzer() { return analyzer_; }
+  const StreamAnalyzer& analyzer() const { return analyzer_; }
+
+  std::string SummaryJson() const {
+    return analyzer_.SummaryJson(ring_.capacity(), ring_.dropped());
+  }
+
+ private:
+  void Push(const StreamRecord& rec) {
+    ++events_seen_;
+    if (ring_.TryPush(rec)) {
+      return;
+    }
+    if (drain_on_full_) {
+      Drain();
+      if (ring_.TryPush(rec)) {
+        return;
+      }
+    }
+    ring_.CountDrop();
+  }
+
+  void Drain() {
+    StreamRecord rec;
+    while (ring_.TryPop(&rec)) {
+      analyzer_.Consume(rec);
+    }
+  }
+
+  bool drain_on_full_;
+  SpscRing ring_;
+  StreamAnalyzer analyzer_;
+  uint64_t events_seen_ = 0;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_TELEMETRY_STREAM_STREAM_SINK_H_

@@ -41,6 +41,18 @@ std::string TelemetrySession::Schedstat(const Scheduler& sched, Time now) const 
   return SchedstatReport(sched, latency_, now);
 }
 
+TelemetryStream& TelemetrySession::AttachStream(TelemetryStream::Options opts) {
+  if (opts.analyzer.n_cpus == 0) {
+    opts.analyzer.n_cpus = latency_.n_cpus();
+  }
+  if (!opts.analyzer.snapshot) {
+    opts.analyzer.snapshot = [this] { return LatencySnapshot(); };
+  }
+  stream_ = std::make_unique<TelemetryStream>(std::move(opts));
+  multi_.Add(stream_.get());
+  return *stream_;
+}
+
 std::string TelemetrySession::LatencySnapshot() const {
   LatencyDistributions m = latency_.Machine();
   std::string out;
@@ -67,7 +79,16 @@ bool TelemetrySession::WriteReports(const std::string& dir, const Scheduler& sch
     return false;
   }
   std::string json = ChromeTraceJson(recorder_.events(), sched.topology().n_cores());
-  return WriteTextFile(base / (label + "trace.json"), json, error);
+  if (!WriteTextFile(base / (label + "trace.json"), json, error)) {
+    return false;
+  }
+  if (stream_ != nullptr) {
+    stream_->Finish(now);
+    if (!WriteTextFile(base / (label + "stream.json"), stream_->SummaryJson() + "\n", error)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace wcores

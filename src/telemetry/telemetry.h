@@ -12,9 +12,12 @@
 #ifndef SRC_TELEMETRY_TELEMETRY_H_
 #define SRC_TELEMETRY_TELEMETRY_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/telemetry/latency.h"
+#include "src/telemetry/stream/stream_sink.h"
 #include "src/tools/recorder.h"
 
 namespace wcores {
@@ -38,6 +41,17 @@ class TelemetrySession {
   EventRecorder& recorder() { return recorder_; }
   const EventRecorder& recorder() const { return recorder_; }
 
+  // Attaches the bounded-memory streaming pipeline (one-pass aggregates +
+  // online starvation detector) to this session's sink fan-out. Call before
+  // handing sink() to the simulator. Unless `opts` already set a snapshot
+  // provider, confirmed starvation findings carry this session's
+  // LatencySnapshot as their digest — the same evidence the sanity checker
+  // attaches to its violations.
+  TelemetryStream& AttachStream(TelemetryStream::Options opts);
+  // Null until AttachStream is called.
+  TelemetryStream* stream() { return stream_.get(); }
+  const TelemetryStream* stream() const { return stream_.get(); }
+
   // Renders the schedstat report for `sched` at virtual time `now`.
   std::string Schedstat(const Scheduler& sched, Time now) const;
 
@@ -47,14 +61,17 @@ class TelemetrySession {
   std::string LatencySnapshot() const;
 
   // Writes `<label>schedstat.txt` and `<label>trace.json` under `dir`
-  // (created, with parents, if missing). Returns false if any file could not
-  // be written; `error` (optional) gets the reason.
+  // (created, with parents, if missing), plus `<label>stream.json` (the
+  // one-line streaming summary, after closing the pipeline at `now`) when a
+  // stream is attached. Returns false if any file could not be written;
+  // `error` (optional) gets the reason.
   bool WriteReports(const std::string& dir, const Scheduler& sched, Time now,
                     const std::string& label = "", std::string* error = nullptr) const;
 
  private:
   LatencyAccountant latency_;
   EventRecorder recorder_;
+  std::unique_ptr<TelemetryStream> stream_;
   MultiSink multi_;
 };
 

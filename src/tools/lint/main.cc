@@ -30,14 +30,16 @@ const char kPolicyFileName[] = ".wc-lint.policy";
 
 // Built-in severities when no policy file says otherwise. D1 is the one
 // rule that is wrong everywhere; the directory-scoped rules default to warn
-// (D2/D3/D4) or off (D5/D6, which are opt-in per hot-path / balancing file).
+// (D2/D3/D4) or off (D5/D6/D7, which are opt-in per hot-path / balancing /
+// bounded-memory directory).
 std::map<std::string, Severity> BuiltinDefaults() {
   return {{"D1", Severity::kError},
           {"D2", Severity::kWarn},
           {"D3", Severity::kWarn},
           {"D4", Severity::kWarn},
           {"D5", Severity::kOff},
-          {"D6", Severity::kOff}};
+          {"D6", Severity::kOff},
+          {"D7", Severity::kOff}};
 }
 
 bool HasSourceExtension(const fs::path& p) {

@@ -14,6 +14,7 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"D4", "floating-point == / != comparison in scheduler decision code"},
       {"D5", "std::function in a designated hot-path file (type-erasure overhead)"},
       {"D6", "per-entity decayed-load read in balancing code (bypasses the group-stats cache)"},
+      {"D7", "unbounded container growth (push_back/emplace_back) in bounded-memory code"},
   };
   return kRules;
 }
@@ -96,6 +97,7 @@ class Scanner {
       CheckD4(i);
       CheckD5(i);
       CheckD6(i);
+      CheckD7(i);
     }
     return std::move(findings_);
   }
@@ -329,6 +331,32 @@ class Scanner {
                   "come from Scheduler::RqLoad / GroupStats so the decay-forward memo stays "
                   "authoritative (per-entity reads re-decay outside it and can diverge from the "
                   "cached fold)");
+  }
+
+  // D7: a .push_back( / .emplace_back( member call. Scoped by policy to
+  // code that advertises an O(tasks+cpus) memory bound (the streaming
+  // telemetry pipeline): there, every growth point must either write into
+  // preallocated storage or carry an allow() stating the bound, because one
+  // per-event append silently converts "bounded" into "O(events)" and the
+  // budget check only catches it at peak, long after the author moved on.
+  void CheckD7(size_t i) {
+    if (!Enabled("D7")) {
+      return;
+    }
+    const Token* t = At(i);
+    if (t == nullptr || t->kind != TokKind::kIdent) {
+      return;
+    }
+    if (t->text != "push_back" && t->text != "emplace_back") {
+      return;
+    }
+    if (!MemberAccess(i) || !IsPunct(At(i + 1), "(")) {
+      return;
+    }
+    Report("D7", t->line,
+           t->text + "() in bounded-memory (streaming) code: growth must be provably bounded "
+                     "— write into preallocated storage, or state the bound in an annotation: "
+                     "allow(D7 <why the size is O(tasks+cpus), not O(events)>)");
   }
 
   const std::string& path_;

@@ -21,6 +21,11 @@
 //       RqLoadRecomputed calls) in balancing code (policy-scoped): the
 //       balancer must read group aggregates through the decay-forward memo
 //       (Scheduler::RqLoad / GroupStats), never re-decay entities itself.
+//   D7  .push_back( / .emplace_back( member calls in bounded-memory code
+//       (policy-scoped to the streaming telemetry pipeline): unannotated
+//       container growth is how an O(tasks+cpus) analyzer quietly becomes
+//       O(events); every append must be into preallocated storage or carry
+//       an allow() whose reason states the size bound.
 //
 // Findings are suppressed only by an inline annotation on the same line or
 // the line above:   // wc-lint: allow(D3 measuring host wall time)
@@ -42,7 +47,7 @@ struct RuleInfo {
   const char* summary;
 };
 
-// All real rules (D1..D6), in report order. SUPPRESS is not listed: it is
+// All real rules (D1..D7), in report order. SUPPRESS is not listed: it is
 // the meta-rule guarding the annotation grammar and cannot be configured.
 const std::vector<RuleInfo>& RuleCatalog();
 

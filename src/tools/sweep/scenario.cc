@@ -7,6 +7,8 @@
 
 #include "src/simkit/rng.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/stream/stream_sink.h"
+#include "src/tools/recorder.h"
 #include "src/tools/sweep/trace_hash.h"
 #include "src/topo/topology.h"
 #include "src/workloads/behaviors.h"
@@ -109,10 +111,22 @@ ScenarioResult RunScenario(const Scenario& scenario) {
 
   Topology topo = MakeTopo(scenario.topo);
   TraceHashSink hash;
+  // Optional streaming pipeline, fanned out behind the hash so the digest is
+  // computed from the identical callback stream (stream = pure observer).
+  std::unique_ptr<TelemetryStream> stream;
+  MultiSink multi;
+  TraceSink* sink = &hash;
+  if (scenario.stream) {
+    stream = std::make_unique<TelemetryStream>(
+        TelemetryStream::ForTopology(topo, scenario.stream_horizon));
+    multi.Add(&hash);
+    multi.Add(stream.get());
+    sink = &multi;
+  }
   Simulator::Options opts;
   opts.features = scenario.features;
   opts.seed = scenario.seed;
-  Simulator sim(topo, opts, &hash);
+  Simulator sim(topo, opts, sink);
 
   MetricsFn metrics_fn;
   switch (scenario.workload) {
@@ -144,6 +158,18 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   result.virtual_seconds = ToSeconds(sim.Now());
   result.all_exited = sim.alive_threads() == 0;
   metrics_fn(&result.metrics);
+  if (stream) {
+    stream->Finish(sim.Now());
+    const StreamAnalyzer& a = stream->analyzer();
+    result.stream_summary = stream->SummaryJson();
+    result.stream_events = a.events();
+    result.stream_ring_dropped = stream->ring().dropped();
+    result.stream_agg_bytes_peak = a.PeakAggregatorBytes();
+    result.stream_budget_bytes = a.BudgetBytes();
+    result.stream_within_budget = a.WithinBudget();
+    result.stream_findings = a.findings_total();
+    result.stream_worst_wait_ns = a.worst_wait();
+  }
 
   // wc-lint: allow(D3 wall_ms measures host cost only and is excluded from the trace hash)
   auto wall_end = std::chrono::steady_clock::now();

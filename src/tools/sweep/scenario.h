@@ -46,6 +46,13 @@ struct Scenario {
 
   // kRandomMix only.
   int mix_threads = 24;
+
+  // Attach the bounded-memory streaming telemetry pipeline (TelemetryStream)
+  // alongside the trace hash. The stream is a pure observer — the trace
+  // hash must be byte-identical with or without it (determinism_test pins
+  // this) — so enabling it never forks the scenario's behavior.
+  bool stream = false;
+  Time stream_horizon = Milliseconds(100);  // Starvation-detector horizon.
 };
 
 struct ScenarioResult {
@@ -60,6 +67,19 @@ struct ScenarioResult {
   bool all_exited = false;
   // Workload-specific scalars, e.g. "make_s", "q18_s", "completion_s".
   std::map<std::string, double> metrics;
+
+  // Streaming-telemetry reduction; populated only when Scenario::stream was
+  // set. stream_summary is the one-line JSON from TelemetryStream; the
+  // scalars below mirror its machine-checkable fields so the driver can
+  // WC_CHECK them without parsing JSON.
+  std::string stream_summary;
+  uint64_t stream_events = 0;          // Records analyzed.
+  uint64_t stream_ring_dropped = 0;    // Must be 0 with in-line draining.
+  uint64_t stream_agg_bytes_peak = 0;  // Peak aggregator footprint.
+  uint64_t stream_budget_bytes = 0;    // O(tasks + cpus) budget.
+  bool stream_within_budget = true;
+  uint64_t stream_findings = 0;        // Starvation findings at stream_horizon.
+  uint64_t stream_worst_wait_ns = 0;
 };
 
 ScenarioResult RunScenario(const Scenario& scenario);

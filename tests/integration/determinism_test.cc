@@ -92,6 +92,28 @@ TEST(Determinism, GoldenHashesUnchanged) {
   }
 }
 
+// The streaming pipeline is a pure observer: attaching it to every golden
+// scenario must not move a single trace hash, and the stream itself must
+// honor its own contract (every event analyzed, zero drops, within budget).
+TEST(Determinism, StreamIsPureObserver) {
+  std::map<std::string, uint64_t> expected;
+  for (const Golden& g : kGoldens) {
+    expected[g.name] = g.hash;
+  }
+  for (Scenario s : TestScenarios()) {
+    s.stream = true;
+    SCOPED_TRACE(s.name);
+    ScenarioResult r = RunScenario(s);
+    auto it = expected.find(s.name);
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(r.trace_hash, it->second) << "attaching the stream changed the trace";
+    EXPECT_EQ(r.stream_events, r.trace_events) << "stream missed or invented events";
+    EXPECT_EQ(r.stream_ring_dropped, 0u);
+    EXPECT_TRUE(r.stream_within_budget);
+    EXPECT_FALSE(r.stream_summary.empty());
+  }
+}
+
 // Parallel execution must be invisible in the results: the sweep at any
 // worker count produces the same ordered result set.
 TEST(Determinism, SweepThreadCountInvariance) {

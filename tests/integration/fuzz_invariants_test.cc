@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "src/core/pelt.h"
 #include "src/sim/simulator.h"
 #include "src/simkit/rng.h"
+#include "src/telemetry/stream/stream_sink.h"
+#include "src/tools/recorder.h"
 #include "src/tools/sanity_checker.h"
 #include "src/topo/topology.h"
 
@@ -489,6 +492,91 @@ TEST(FuzzInvariants, DecayForwardBitIdenticalAcrossPeriods) {
   EXPECT_GT(const_seen, 0);
   EXPECT_GT(nonconst_seen, 0);
   EXPECT_GT(nonconst_moved, 0);
+}
+
+// ---- Streaming-parity invariant ---------------------------------------------
+//
+// The one-pass streaming analyzer and the whole-trace recorder observe the
+// identical callback stream (fanned out by MultiSink). Every per-task
+// accumulator the stream keeps incrementally must therefore equal a
+// from-scratch reduction over the recorder's array — bit for bit, integers
+// throughout. (The recorder stores nanoseconds in a double; values stay far
+// below 2^53, so the uint64 round-trip is exact.)
+TEST(FuzzInvariants, StreamingAccumulatorsMatchRecorderBitForBit) {
+  uint64_t base = BaseSeed();
+  for (int run = 0; run < kRuns; ++run) {
+    uint64_t seed = base + 99000ULL + static_cast<uint64_t>(run);
+    SCOPED_TRACE(ReproCommand(seed));
+    uint64_t sm = seed;
+    Rng rng(SplitMix64(sm));
+    Topology topo = RandomTopology(rng);
+    Simulator::Options opts;
+    opts.features = RandomFeatures(rng);
+    opts.seed = seed;
+
+    EventRecorder recorder;
+    TelemetryStream stream(TelemetryStream::ForTopology(topo));
+    MultiSink multi;
+    multi.Add(&recorder);
+    multi.Add(&stream);
+    Simulator sim(topo, opts, &multi);
+    SpawnRandomMix(sim, rng, static_cast<int>(rng.NextInRange(6, 48)));
+    sim.Run(kHorizon);
+    stream.Finish(sim.Now());
+
+    // Conservation first: both sinks saw every callback, nothing dropped.
+    ASSERT_EQ(recorder.dropped(), 0u);
+    ASSERT_EQ(stream.ring().dropped(), 0u);
+    ASSERT_EQ(stream.events_seen(), recorder.events().size());
+    ASSERT_EQ(stream.analyzer().events(), recorder.events().size());
+
+    struct Totals {
+      uint64_t runtime = 0, wait = 0, switches = 0, wakeups = 0, migrations = 0;
+    };
+    std::map<ThreadId, Totals> batch;
+    uint64_t idle_ns = 0;
+    for (const TraceEvent& e : recorder.events()) {
+      switch (e.kind) {
+        case TraceEvent::Kind::kSwitchIn:
+          batch[e.tid].wait += static_cast<uint64_t>(e.value);
+          break;
+        case TraceEvent::Kind::kSwitchOut:
+          batch[e.tid].runtime += static_cast<uint64_t>(e.value);
+          batch[e.tid].switches += 1;
+          break;
+        case TraceEvent::Kind::kWakeupLatency:
+          batch[e.tid].wakeups += 1;
+          break;
+        case TraceEvent::Kind::kMigration:
+          batch[e.tid].migrations += 1;
+          break;
+        case TraceEvent::Kind::kIdleExit:
+          idle_ns += static_cast<uint64_t>(e.value);
+          break;
+        default:
+          break;
+      }
+    }
+
+    ASSERT_GT(batch.size(), 0u) << "fuzz run produced no per-task events";
+    uint64_t sum_runtime = 0;
+    uint64_t sum_wait = 0;
+    for (const auto& [tid, t] : batch) {
+      const StreamAnalyzer::TaskStats& s = stream.analyzer().Task(tid);
+      ASSERT_TRUE(s.seen) << "tid " << tid << " missing from the stream";
+      ASSERT_EQ(s.runtime_ns, t.runtime) << "tid " << tid << " runtime diverged";
+      ASSERT_EQ(s.wait_ns, t.wait) << "tid " << tid << " wait diverged";
+      ASSERT_EQ(s.switches, t.switches) << "tid " << tid;
+      ASSERT_EQ(s.wakeups, t.wakeups) << "tid " << tid;
+      ASSERT_EQ(s.migrations, t.migrations) << "tid " << tid;
+      sum_runtime += t.runtime;
+      sum_wait += t.wait;
+    }
+    // And the machine-level totals are the per-task sums, also exactly.
+    ASSERT_EQ(stream.analyzer().Machine().oncpu.sum_ns, sum_runtime);
+    ASSERT_EQ(stream.analyzer().Machine().rq_wait.sum_ns, sum_wait);
+    ASSERT_EQ(stream.analyzer().idle_ns(), static_cast<Time>(idle_ns));
+  }
 }
 
 }  // namespace

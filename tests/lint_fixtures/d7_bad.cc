@@ -1,0 +1,8 @@
+// D7 fixture: unannotated container growth in bounded-memory code. Not
+// compiled — lint input only.
+
+void record(Analyzer* a, const StreamRecord& rec) {
+  a->events.push_back(rec);                // tracked: per-event append
+  a->spans.emplace_back(rec.when, rec.tid);  // tracked: emplace variant
+  a->tails_->push_back(rec.value);         // tracked: arrow access
+}

@@ -1,0 +1,11 @@
+// D7 fixture: bounded alternatives and annotated growth. Not compiled —
+// lint input only.
+
+void record(Analyzer* a, const StreamRecord& rec) {
+  a->ring[a->head & kMask] = rec;          // indexed write into fixed storage
+  double push_back = 0.0;                  // identifier, not a member call
+  (void)push_back;
+  PushBackoff(rec.when);                   // different identifier
+  // wc-lint: allow(D7 findings are capped at kMaxFindings and reserved up front)
+  a->findings.push_back(rec.tid);
+}

@@ -257,6 +257,36 @@ TEST(ChromeTraceTest, JsonRoundTripOnSyntheticEvents) {
   EXPECT_FALSE(check.Ok(3));  // Wrong cpu count must not validate.
 }
 
+TEST(ChromeTraceTest, TruncatesHugeTracesWithMarkerAndBalancedSlices) {
+  // A long alternating switch-in/out stream on one cpu; cut it mid-slice so
+  // the exporter must close the open 'B' at the truncation point.
+  EventRecorder recorder;
+  for (int i = 0; i < 100; ++i) {
+    Time t = Microseconds(10 * i);
+    recorder.OnSwitchIn(t, 0, 5, 0);
+    recorder.OnSwitchOut(t + Microseconds(5), 0, 5, Microseconds(5), true);
+  }
+  ASSERT_EQ(recorder.events().size(), 200u);
+
+  std::string json = ChromeTraceJson(recorder.events(), /*n_cpus=*/1, /*max_events=*/51);
+  ChromeTraceCheck check = CheckChromeTrace(json);
+  EXPECT_TRUE(check.valid_json) << check.error;
+  EXPECT_TRUE(check.ts_monotonic);
+  EXPECT_TRUE(check.slices_balanced);  // The cut slice was closed.
+  EXPECT_TRUE(check.Ok(1));
+  // 26 switch-ins made it through the cap (events 0..50 = 26 in, 25 out).
+  EXPECT_EQ(check.slices, 26u);
+  // The truncation marker is present and carries the drop accounting.
+  EXPECT_NE(json.find("\"name\":\"trace truncated\""), std::string::npos);
+  EXPECT_NE(json.find("\"exported_events\":51"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":149"), std::string::npos);
+
+  // Untruncated export of the same events carries no marker.
+  std::string full = ChromeTraceJson(recorder.events(), /*n_cpus=*/1);
+  EXPECT_EQ(full.find("trace truncated"), std::string::npos);
+  EXPECT_TRUE(CheckChromeTrace(full).Ok(1));
+}
+
 TEST(ChromeTraceTest, ParserAcceptsStandardJson) {
   JsonValue v;
   std::string err;

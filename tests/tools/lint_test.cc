@@ -192,6 +192,24 @@ TEST(LintRules, D6FlagsPerEntityLoadCallsOnly) {
   EXPECT_EQ(r.errors, 1);
 }
 
+TEST(LintRules, D7FlagsMemberAppendCallsOnly) {
+  std::string src =
+      "void f(Analyzer* a, Rec rec) {\n"
+      "  a->events.push_back(rec);\n"            // Member call: flagged.
+      "  a->spans.emplace_back(rec.when);\n"     // Emplace variant: flagged.
+      "// wc-lint" ": allow(D7 heap holds at most one entry per task)\n"
+      "  a->heap.push_back(rec.tid);\n"
+      "  double push_back = 0.0;\n"              // Identifier, not a call.
+      "  PushBackoff(rec.when);\n"               // Different identifier.
+      "  push_back + 1.0;\n"                     // No member access, no call.
+      "}\n";
+  FileLintResult r = LintSource("snippet.cc", src, AllError());
+  EXPECT_EQ(CountRule(r, "D7", /*suppressed=*/false), 2);
+  EXPECT_EQ(CountRule(r, "D7", /*suppressed=*/true), 1);
+  EXPECT_EQ(r.errors, 2);
+  EXPECT_EQ(r.suppressed, 1);
+}
+
 TEST(LintPolicy, D6GlobScopesToBalancingFile) {
   // The shape src/core/.wc-lint.policy uses: opt-in for the balancer file
   // only, so RqLoadRecomputed's definition in scheduler.cc stays legal.
