@@ -14,6 +14,10 @@
 // with the stream attached and asserts the pipeline's contract at scale:
 // >= MIN_EVENTS trace events, zero ring drops, and peak aggregator memory
 // within the O(tasks + cpus) budget.
+// --policy=NAME|all instead runs the cross-policy arena: the same scenario
+// matrix under each registered scheduling policy (cfs, o1, coreidle, ...),
+// with a per-policy replay-determinism check, a per-scenario leaderboard,
+// and BENCH_policy_arena.json.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -23,11 +27,142 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/modsched/policy_registry.h"
 #include "src/simkit/check.h"
 #include "src/tools/sweep/sweep.h"
 
 namespace wcores {
 namespace {
+
+// The scenario's headline completion metric (lower = better), or a negative
+// value when the workload defines none (random mixes run to a fixed
+// horizon and are reported, not ranked).
+double CompletionScore(const ScenarioResult& r) {
+  for (const char* key : {"make_s", "q18_s", "completion_s"}) {
+    auto it = r.metrics.find(key);
+    if (it != r.metrics.end()) {
+      return it->second;
+    }
+  }
+  return -1.0;
+}
+
+// Cross-policy arena: the full scenario matrix under every requested
+// policy, a per-policy determinism check (each policy's sweep replays
+// bit-identically across thread counts), a per-scenario leaderboard, and
+// BENCH_policy_arena.json.
+int RunPolicyArena(const BenchOptions& opts, const std::string& policy_arg, double scale,
+                   int random_count, uint64_t seed, int max_threads) {
+  PrintHeader("Cross-policy scheduler arena",
+              "§5 modular scheduling: one scenario matrix, every registered policy");
+
+  std::vector<std::string> policies;
+  if (policy_arg == "all") {
+    policies = SchedPolicyNames();
+  } else {
+    if (CreateSchedPolicy(policy_arg) == nullptr) {
+      std::fprintf(stderr, "unknown --policy '%s'; registered:", policy_arg.c_str());
+      for (const std::string& name : SchedPolicyNames()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, " all\n");
+      return 2;
+    }
+    policies.push_back(policy_arg);
+  }
+
+  std::vector<Scenario> base = FigureScenarios(scale);
+  for (Scenario& s : RandomScenarios(seed, random_count)) {
+    base.push_back(std::move(s));
+  }
+
+  BenchReport report;
+  report.bench = "policy_arena";
+  report.context_num["scenarios"] = static_cast<double>(base.size());
+  report.context_num["policies"] = static_cast<double>(policies.size());
+  report.context_num["scale"] = scale;
+
+  // results[p][i] is policy p's result for base scenario i.
+  std::vector<std::vector<ScenarioResult>> results;
+  for (const std::string& policy : policies) {
+    std::vector<Scenario> matrix = base;
+    for (Scenario& s : matrix) {
+      s.policy = policy;
+    }
+    SweepOptions sweep_opts;
+    sweep_opts.threads = max_threads;
+    SweepReport run = RunSweep(matrix, sweep_opts);
+    // Per-policy hash check: the same matrix at one worker must replay
+    // bit-identically — every policy inherits the determinism contract,
+    // not just CFS.
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepReport replay = RunSweep(matrix, serial);
+    WC_CHECK(run.CombinedHash() == replay.CombinedHash(),
+             "policy sweep hash differs across thread counts");
+    std::printf("policy %-10s combined_hash=%016llx  wall=%8.1f ms\n", policy.c_str(),
+                static_cast<unsigned long long>(run.CombinedHash()), run.wall_ms);
+
+    for (const ScenarioResult& r : run.results) {
+      BenchReport::Row row;
+      row.name = policy + "/" + r.name;
+      row.labels["policy"] = policy;
+      row.labels["scenario"] = r.name;
+      row.labels["trace_hash"] = [&] {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(r.trace_hash));
+        return std::string(buf);
+      }();
+      row.metrics["sim_events"] = static_cast<double>(r.sim_events);
+      row.metrics["context_switches"] = static_cast<double>(r.context_switches);
+      row.metrics["migrations"] = static_cast<double>(r.migrations);
+      row.metrics["wall_ms"] = r.wall_ms;
+      double score = CompletionScore(r);
+      if (score >= 0) {
+        row.metrics["completion_s"] = score;
+      }
+      for (const auto& [k, v] : r.metrics) {
+        row.metrics[k] = v;
+      }
+      report.rows.push_back(std::move(row));
+    }
+    results.push_back(std::move(run.results));
+  }
+
+  // Per-scenario leaderboard. Scenarios with a completion metric rank by
+  // it; horizon-bound scenarios (random mixes) are shown unranked.
+  std::printf("\nleaderboard (completion seconds; * = winner, - = horizon-bound):\n");
+  std::printf("  %-28s", "scenario");
+  for (const std::string& p : policies) {
+    std::printf(" %12s", p.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < base.size(); ++i) {
+    double best = -1.0;
+    size_t best_p = 0;
+    for (size_t p = 0; p < policies.size(); ++p) {
+      double score = CompletionScore(results[p][i]);
+      if (score >= 0 && (best < 0 || score < best)) {
+        best = score;
+        best_p = p;
+      }
+    }
+    std::printf("  %-28s", base[i].name.c_str());
+    for (size_t p = 0; p < policies.size(); ++p) {
+      double score = CompletionScore(results[p][i]);
+      if (score >= 0) {
+        std::printf(" %10.3f%s", score, best >= 0 && p == best_p ? "*" : " ");
+      } else {
+        std::printf(" %10s -", "");
+      }
+    }
+    std::printf("\n");
+  }
+
+  report.Write(opts);
+  std::printf("\nwrote %s/BENCH_policy_arena.json\n", opts.out_dir.c_str());
+  return 0;
+}
 
 // One-pass soak of the streaming pipeline. Scenario sizing (threads, scale,
 // horizon) is pinned so the run deterministically crosses the event floor;
@@ -90,7 +225,7 @@ int RunBigMix(const BenchOptions& opts, uint64_t min_events, uint64_t seed) {
 }
 
 int Main(int argc, char** argv) {
-  std::string threads_s, scale_s, random_s, seed_s, bigmix_s;
+  std::string threads_s, scale_s, random_s, seed_s, bigmix_s, policy_s;
   BenchOptions opts = ParseBenchArgs(
       argc, argv,
       {
@@ -100,6 +235,8 @@ int Main(int argc, char** argv) {
           {"seed", &seed_s, "seed for the random scenarios (default 99)"},
           {"big-mix", &bigmix_s,
            "skip the matrix; run one huge streamed random mix and assert >= this many events"},
+          {"policy", &policy_s,
+           "cross-policy arena: run the matrix under this policy name, or 'all'"},
       });
   unsigned hw = std::thread::hardware_concurrency();
   int max_threads = threads_s.empty() ? static_cast<int>(hw ? hw : 1) : std::stoi(threads_s);
@@ -112,6 +249,9 @@ int Main(int argc, char** argv) {
 
   if (!bigmix_s.empty()) {
     return RunBigMix(opts, std::stoull(bigmix_s), seed);
+  }
+  if (!policy_s.empty()) {
+    return RunPolicyArena(opts, policy_s, scale, random_count, seed, max_threads);
   }
 
   PrintHeader("Parallel scenario sweep", "§4 evaluation methodology (scenario matrix)");

@@ -26,6 +26,13 @@
 #                moment the analyzer stops being one-pass-bounded. Also runs
 #                the streamed sweep matrix, whose pure-observer cross-check
 #                re-runs the scenarios bare and compares combined hashes.
+#   6. arena   - the policy-arena gate: the cross-policy conformance suite
+#                (invariant fuzzing, recorder-vs-stream differential fold,
+#                per-policy goldens, the paper-bug expectation matrix, CFS
+#                bit-exactness) in Release AND ASan+UBSan — run explicitly so
+#                a caller's -R filter on the matrix can't skip it — plus a
+#                sweep_driver --policy=all smoke that must emit the
+#                BENCH_policy_arena.json leaderboard.
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 #   e.g. scripts/ci.sh -R Determinism
@@ -87,4 +94,13 @@ echo "==== [stream] streamed sweep matrix + pure-observer cross-check ===="
   --random=1 --telemetry-stream="$SMOKE_OUT/stream"
 test -s "$SMOKE_OUT/stream/sweep_stream.jsonl"
 
-echo "CI OK: lint + release + asan-ubsan + tsan + bench smoke + stream soak all green."
+echo "==== [arena] cross-policy conformance (Release + ASan/UBSan) ===="
+ctest --preset release -j "$JOBS" -R 'modsched\.'
+ctest --preset asan-ubsan -j "$JOBS" -R 'modsched\.'
+echo "==== [arena] sweep_driver --policy=all smoke ===="
+./build-release/bench/sweep_driver --out="$SMOKE_OUT" --threads=1 --scale=0.02 \
+  --random=1 --policy=all
+test -s "$SMOKE_OUT/BENCH_policy_arena.json"
+grep -q '"policy_arena"' "$SMOKE_OUT/BENCH_policy_arena.json"
+
+echo "CI OK: lint + release + asan-ubsan + tsan + bench smoke + stream soak + policy arena all green."

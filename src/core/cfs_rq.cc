@@ -45,6 +45,9 @@ void CfsRunqueue::Enqueue(SchedEntity* se, Time now, EnqueueKind kind) {
   total_weight_ += se->weight;
   BumpLoadVersion();
   UpdateMinVruntime();
+  if (observer_ != nullptr) {
+    observer_->OnRqEnqueue(now, cpu_, se, kind);
+  }
 }
 
 void CfsRunqueue::DequeueQueued(SchedEntity* se, Time now) {
@@ -56,15 +59,22 @@ void CfsRunqueue::DequeueQueued(SchedEntity* se, Time now) {
   se->on_rq = false;
   se->last_dequeued = now;
   UpdateMinVruntime();
+  if (observer_ != nullptr) {
+    observer_->OnRqDequeue(now, cpu_, se);
+  }
 }
 
 void CfsRunqueue::Reweight(SchedEntity* se, Time now, int nice) {
   WC_CHECK(se->on_rq && se->cpu == cpu_, "reweight of entity not on this queue");
   UpdateCurr(now);  // Runtime already consumed accrues vruntime at the old weight.
+  int old_nice = se->nice;
   total_weight_ -= se->weight;
   se->SetNice(nice);
   total_weight_ += se->weight;
   BumpLoadVersion();
+  if (observer_ != nullptr && !se->running) {
+    observer_->OnRqReweight(now, cpu_, se, old_nice);
+  }
 }
 
 SchedEntity* CfsRunqueue::PickNext(Time now) {
@@ -73,12 +83,30 @@ SchedEntity* CfsRunqueue::PickNext(Time now) {
   if (next == nullptr) {
     return nullptr;
   }
-  tree_.Erase(next);
-  curr_ = next;
-  next->running = true;
-  next->exec_start = now;
-  next->slice_exec = 0;
-  return next;
+  return PickSpecific(next, now);
+}
+
+SchedEntity* CfsRunqueue::PickSpecific(SchedEntity* se, Time now) {
+  WC_CHECK(curr_ == nullptr, "previous curr not put back");
+  WC_CHECK(se != nullptr && se->on_rq && !se->running && se->cpu == cpu_,
+           "picked entity not queued on this cpu");
+  // LoadAt folds curr first, then the tree in vruntime order, and the RqLoad
+  // memo replays cached sums under an unchanged load_version. Picking the
+  // leftmost preserves that fold sequence exactly, so the CFS path needs no
+  // bump; a policy picking any *other* entity permutes the fold order, which
+  // float addition does not forgive — invalidate the memo.
+  if (se != tree_.Leftmost()) {
+    BumpLoadVersion();
+  }
+  tree_.Erase(se);
+  curr_ = se;
+  se->running = true;
+  se->exec_start = now;
+  se->slice_exec = 0;
+  if (observer_ != nullptr) {
+    observer_->OnRqPick(now, cpu_, se);
+  }
+  return se;
 }
 
 void CfsRunqueue::UpdateCurr(Time now) {

@@ -17,6 +17,8 @@
 
 namespace wcores {
 
+class RqObserver;
+
 class CfsRunqueue {
  public:
   // `shared_load_epoch`, when given, is bumped alongside load_version_ so an
@@ -56,6 +58,15 @@ class CfsRunqueue {
 
   // Dequeues the leftmost entity and makes it curr. Pre: no curr.
   SchedEntity* PickNext(Time now);
+
+  // Dequeues a specific *queued* entity and makes it curr — the generalized
+  // pick used by non-CFS policies (src/core/sched_policy.h), which may run
+  // something other than the vruntime leftmost. PickNext(now) is exactly
+  // PickSpecific(PeekLeftmost(), now).
+  SchedEntity* PickSpecific(SchedEntity* se, Time now);
+
+  // The entity PickNext would choose, without dequeuing it.
+  SchedEntity* PeekLeftmost() const { return tree_.Leftmost(); }
 
   // Accounts curr's runtime into vruntime/min_vruntime. Call at ticks and
   // before any decision that reads vruntime or load.
@@ -148,6 +159,11 @@ class CfsRunqueue {
   // (on_rq/running/cpu), vruntime ordering, and total_weight consistency.
   bool ValidateInvariants() const;
 
+  // Membership observer for stateful scheduling policies (the O(1) policy
+  // mirrors the queue into priority arrays). Null for the default CFS
+  // policy, so the hot path pays one predictable branch per event.
+  void set_observer(RqObserver* observer) { observer_ = observer; }
+
  private:
   void UpdateMinVruntime();
 
@@ -159,6 +175,7 @@ class CfsRunqueue {
   uint64_t total_weight_ = 0;
   uint64_t load_version_ = 0;
   uint64_t* shared_load_epoch_ = nullptr;
+  RqObserver* observer_ = nullptr;
 
   void BumpLoadVersion() {
     load_version_ += 1;
@@ -166,6 +183,21 @@ class CfsRunqueue {
       *shared_load_epoch_ += 1;
     }
   }
+};
+
+// Receives runqueue membership events. Every transition of a *queued*
+// entity is reported: enqueue (with its kind), dequeue of a queued entity
+// (steal, hotplug evacuation), a queued entity becoming curr, and reweight.
+// The running entity leaving (block/exit) needs no event — it was already
+// removed from the queued set when it was picked.
+class RqObserver {
+ public:
+  virtual ~RqObserver() = default;
+  virtual void OnRqEnqueue(Time now, CpuId cpu, SchedEntity* se,
+                           CfsRunqueue::EnqueueKind kind) = 0;
+  virtual void OnRqDequeue(Time now, CpuId cpu, SchedEntity* se) = 0;
+  virtual void OnRqPick(Time now, CpuId cpu, SchedEntity* se) = 0;
+  virtual void OnRqReweight(Time now, CpuId cpu, SchedEntity* se, int old_nice) = 0;
 };
 
 }  // namespace wcores

@@ -4,6 +4,7 @@
 
 #include <cassert>
 
+#include "src/core/sched_policy.h"
 #include "src/simkit/log.h"
 
 namespace wcores {
@@ -14,13 +15,20 @@ TraceSink* Scheduler::NullSink() {
 }
 
 Scheduler::Scheduler(const Topology& topo, const SchedFeatures& features,
-                     const SchedTunables& tunables, SchedClient* client, TraceSink* trace)
+                     const SchedTunables& tunables, SchedClient* client, TraceSink* trace,
+                     SchedPolicy* policy)
     : topo_(&topo),
       features_(features),
       tunables_(tunables),
       client_(client),
       trace_(trace != nullptr ? trace : NullSink()) {
   WC_CHECK(client_ != nullptr, "scheduler needs a client");
+  if (policy != nullptr) {
+    policy_ = policy;
+  } else {
+    owned_policy_ = std::make_unique<CfsPolicy>();
+    policy_ = owned_policy_.get();
+  }
   for (CpuId c = 0; c < topo.n_cores(); ++c) {
     cpus_.emplace_back(c, &tunables_, &balance_epoch_);
     online_.Set(c);
@@ -42,7 +50,16 @@ Scheduler::Scheduler(const Topology& topo, const SchedFeatures& features,
     cpus_[c].tickless = true;
     IdleIndexInsert(c);  // All cpus boot idle since t=0.
   }
+
+  policy_->Attach(this);
+  if (policy_->WantsQueueEvents()) {
+    for (Cpu& c : cpus_) {
+      c.rq.set_observer(policy_);
+    }
+  }
 }
+
+Scheduler::~Scheduler() = default;
 
 AutogroupId Scheduler::CreateAutogroup() {
   AutogroupId id = static_cast<AutogroupId>(autogroups_.size());
@@ -121,6 +138,15 @@ ThreadId Scheduler::CurrentThread(CpuId cpu) const {
 CpuId Scheduler::FirstAllowedOnline(const CpuSet& affinity) const {
   CpuId c = (affinity & online_).First();
   return c != kInvalidCpu ? c : online_.First();
+}
+
+CpuId Scheduler::CfsForkCpu(const SchedEntity& se, CpuId parent_cpu) const {
+  // Fork placement: the parent's core when allowed (§3.2), otherwise the
+  // first allowed online cpu.
+  if (parent_cpu != kInvalidCpu && online_.Test(parent_cpu) && se.affinity.Test(parent_cpu)) {
+    return parent_cpu;
+  }
+  return FirstAllowedOnline(se.affinity);
 }
 
 void Scheduler::NotifyNrRunning(Time now, CpuId cpu) {
@@ -279,12 +305,12 @@ ThreadId Scheduler::CreateThread(Time now, const ThreadParams& params) {
   ++ag_epoch_;
   stats_.forks += 1;
 
-  // Fork placement: the parent's core when allowed (§3.2), otherwise the
-  // first allowed online cpu.
-  CpuId target = params.parent_cpu;
-  if (target == kInvalidCpu || !online_.Test(target) || !se.affinity.Test(target)) {
-    target = FirstAllowedOnline(se.affinity);
-  }
+  // Fork placement is the policy's call; the core checks the answer is an
+  // online allowed cpu (any online cpu when affinity has no online member).
+  CpuId target = policy_->SelectForkCpu(now, se, params.parent_cpu);
+  WC_CHECK(target != kInvalidCpu && online_.Test(target) &&
+               (se.affinity.Test(target) || (se.affinity & online_).Empty()),
+           "policy fork placement violated affinity/online");
 
   Cpu& c = cpus_[target];
   bool was_idle = c.rq.Idle();
@@ -294,7 +320,7 @@ ThreadId Scheduler::CreateThread(Time now, const ThreadParams& params) {
   NotifyLoad(now, target);
   if (was_idle) {
     client_->KickCpu(target);
-  } else if (c.rq.CheckPreemptWakeup(se, now)) {
+  } else if (policy_->WakeupPreempts(now, target, se)) {
     c.need_resched = true;
     client_->KickCpu(target);
   }
@@ -337,7 +363,10 @@ CpuId Scheduler::Wake(Time now, ThreadId tid, CpuId waker_cpu) {
   stats_.wakeups += 1;
 
   CpuSet considered;
-  CpuId target = SelectTaskRq(now, se, waker_cpu, &considered);
+  CpuId target = policy_->SelectWakeCpu(now, se, waker_cpu, &considered);
+  WC_CHECK(target != kInvalidCpu && online_.Test(target) &&
+               (se.affinity.Test(target) || (se.affinity & online_).Empty()),
+           "policy wakeup placement violated affinity/online");
   trace_->OnConsidered(now, waker_cpu != kInvalidCpu ? waker_cpu : target, considered,
                        ConsideredKind::kWakeup);
 
@@ -372,7 +401,7 @@ void Scheduler::EnqueueWake(Time now, SchedEntity* se, CpuId cpu) {
   NotifyLoad(now, cpu);
   if (was_idle) {
     client_->KickCpu(cpu);
-  } else if (c.rq.CheckPreemptWakeup(*se, now)) {
+  } else if (policy_->WakeupPreempts(now, cpu, *se)) {
     c.need_resched = true;
     client_->KickCpu(cpu);
   }
@@ -389,11 +418,11 @@ ThreadId Scheduler::PickNext(Time now, CpuId cpu) {
     prev->load.Advance(now);
     c.rq.PutCurr(now, CfsRunqueue::PutKind::kStillRunnable);
   }
-  SchedEntity* next = c.rq.PickNext(now);
+  SchedEntity* next = PickEntityOn(now, cpu);
   if (next == nullptr) {
     // "Emergency" balancing when a core becomes idle (§2.2).
-    IdleBalance(now, cpu);
-    next = c.rq.PickNext(now);
+    policy_->NewIdleBalance(now, cpu);
+    next = PickEntityOn(now, cpu);
   }
   // Switch accounting, with kernel sched_switch semantics: re-picking the
   // same thread is not a switch and reports nothing.
@@ -415,6 +444,14 @@ ThreadId Scheduler::PickNext(Time now, CpuId cpu) {
   return next != nullptr ? next->tid : kInvalidThread;
 }
 
+SchedEntity* Scheduler::PickEntityOn(Time now, CpuId cpu) {
+  SchedEntity* cand = policy_->PickNextEntity(now, cpu);
+  if (cand == nullptr) {
+    return nullptr;
+  }
+  return cpus_[cpu].rq.PickSpecific(cand, now);
+}
+
 void Scheduler::Tick(Time now, CpuId cpu) {
   Cpu& c = cpus_[cpu];
   if (!c.online) {
@@ -425,26 +462,11 @@ void Scheduler::Tick(Time now, CpuId cpu) {
   if (c.rq.curr() != nullptr) {
     c.rq.curr()->load.Advance(now);
   }
-  if (c.rq.CheckPreemptTick()) {
+  if (policy_->TickPreempt(now, cpu)) {
     c.need_resched = true;
   }
 
-  // Periodic load balancing: Algorithm 1, bottom-up over this core's
-  // scheduling domains. This core is busy (it is taking a tick), so its
-  // intervals are stretched by busy_balance_factor, as in the kernel.
-  for (SchedDomain& sd : c.domains.domains) {
-    Time interval = sd.balance_interval * static_cast<Time>(tunables_.busy_balance_factor);
-    if (now < sd.last_balance + interval) {
-      stats_.balance_interval_skips += 1;
-      continue;
-    }
-    if (DesignatedCpu(cpu, sd) != cpu) {
-      stats_.balance_designation_skips += 1;
-      continue;
-    }
-    sd.last_balance = now;
-    BalanceDomain(now, cpu, sd, ConsideredKind::kPeriodicBalance);
-  }
+  policy_->PeriodicBalance(now, cpu);
 
   // NOHZ: an overloaded core wakes the first tickless idle core and assigns
   // it the NOHZ balancer role (§2.2.2).
@@ -460,7 +482,29 @@ void Scheduler::Tick(Time now, CpuId cpu) {
   }
 }
 
-void Scheduler::RunNohzBalance(Time now, CpuId cpu) {
+void Scheduler::RunNohzBalance(Time now, CpuId cpu) { policy_->NohzBalance(now, cpu); }
+
+void Scheduler::CfsPeriodicBalance(Time now, CpuId cpu) {
+  // Periodic load balancing: Algorithm 1, bottom-up over this core's
+  // scheduling domains. This core is busy (it is taking a tick), so its
+  // intervals are stretched by busy_balance_factor, as in the kernel.
+  Cpu& c = cpus_[cpu];
+  for (SchedDomain& sd : c.domains.domains) {
+    Time interval = sd.balance_interval * static_cast<Time>(tunables_.busy_balance_factor);
+    if (now < sd.last_balance + interval) {
+      stats_.balance_interval_skips += 1;
+      continue;
+    }
+    if (DesignatedCpu(cpu, sd) != cpu) {
+      stats_.balance_designation_skips += 1;
+      continue;
+    }
+    sd.last_balance = now;
+    BalanceDomain(now, cpu, sd, ConsideredKind::kPeriodicBalance);
+  }
+}
+
+void Scheduler::CfsNohzBalance(Time now, CpuId cpu) {
   // The kicked core runs the periodic balancing routine for itself and on
   // behalf of all tickless idle cores (§2.2.2).
   for (CpuId x : online_) {

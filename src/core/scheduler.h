@@ -61,10 +61,17 @@ struct ThreadParams {
   CpuId parent_cpu = kInvalidCpu;
 };
 
+class SchedPolicy;
+
 class Scheduler {
  public:
+  // `policy` selects the scheduling policy (src/core/sched_policy.h); null
+  // means CFS (the scheduler owns a CfsPolicy instance). A non-null policy
+  // is borrowed and must outlive the scheduler; it must not be shared
+  // across schedulers (policies hold per-machine state).
   Scheduler(const Topology& topo, const SchedFeatures& features, const SchedTunables& tunables,
-            SchedClient* client, TraceSink* trace = nullptr);
+            SchedClient* client, TraceSink* trace = nullptr, SchedPolicy* policy = nullptr);
+  ~Scheduler();  // Out of line: owned_policy_ needs the complete SchedPolicy.
 
   const Topology& topology() const { return *topo_; }
   const SchedFeatures& features() const { return features_; }
@@ -183,6 +190,33 @@ class Scheduler {
   // longest-idle core (counted in stats().wake_policy_vetoes).
   void set_wake_policy(WakePolicy* policy) { wake_policy_ = policy; }
   WakePolicy* wake_policy() const { return wake_policy_; }
+
+  // ---- Policy arena (src/core/sched_policy.h) -------------------------------
+
+  SchedPolicy* policy() const { return policy_; }
+
+  // Mechanism building blocks for SchedPolicy implementations: each is the
+  // CFS behavior of the corresponding hook, callable piecemeal so a policy
+  // can inherit the parts it does not replace (the COREIDLE policy gates
+  // these balancers on overload; the O(1) policy reuses them wholesale).
+  CpuId CfsSelectWakeCpu(Time now, const SchedEntity& se, CpuId waker_cpu, CpuSet* considered) {
+    return SelectTaskRq(now, se, waker_cpu, considered);
+  }
+  CpuId CfsForkCpu(const SchedEntity& se, CpuId parent_cpu) const;
+  SchedEntity* QueuedLeftmost(CpuId cpu) { return cpus_[cpu].rq.PeekLeftmost(); }
+  bool CfsTickPreempt(CpuId cpu) const { return cpus_[cpu].rq.CheckPreemptTick(); }
+  bool CfsWakeupPreempts(Time now, CpuId cpu, const SchedEntity& woken) const {
+    return cpus_[cpu].rq.CheckPreemptWakeup(woken, now);
+  }
+  void CfsPeriodicBalance(Time now, CpuId cpu);
+  void CfsIdleBalance(Time now, CpuId cpu) { IdleBalance(now, cpu); }
+  void CfsNohzBalance(Time now, CpuId cpu);
+
+  // Visits the queued (not running) entities of `cpu` in vruntime order.
+  template <typename Visitor>
+  void ForEachQueuedOn(CpuId cpu, Visitor&& visit) const {
+    cpus_[cpu].rq.ForEachQueued(visit);
+  }
 
  private:
   struct Cpu {
@@ -310,6 +344,10 @@ class Scheduler {
   // (New-)idle balancing when a cpu runs out of work.
   void IdleBalance(Time now, CpuId cpu);
 
+  // Asks the policy for the next entity on `cpu` and dequeues it into curr;
+  // null when the policy has nothing to run there.
+  SchedEntity* PickEntityOn(Time now, CpuId cpu);
+
   void EnqueueWake(Time now, SchedEntity* se, CpuId cpu);
   void UpdateIdleState(Time now, CpuId cpu);
   // Idle-index maintenance. Insert keeps the node list sorted by
@@ -328,6 +366,8 @@ class Scheduler {
   SchedClient* client_;
   TraceSink* trace_;  // Never null; defaults to a no-op sink.
   WakePolicy* wake_policy_ = nullptr;
+  SchedPolicy* policy_ = nullptr;              // Never null after construction.
+  std::unique_ptr<SchedPolicy> owned_policy_;  // Set iff no policy was passed in.
 
   std::deque<Cpu> cpus_;  // deque: Cpu is neither copyable nor movable.
   CpuSet online_;

@@ -1,0 +1,50 @@
+// A COREIDLE-style consolidate-then-idle policy (SNIPPETS.md §3).
+//
+// The COREIDLE framework steers work *away* from cores the policy wants
+// idle: fork/exec/wakeup placement and periodic balancing all exclude the
+// masked cores, so they can sink into deep C-states. This policy computes
+// the mask online instead of taking it from userspace: the active set is
+// the first K online cpus in id order (id order packs node 0 first), with
+// K = total runnable threads + 1 — just enough cores to stay
+// work-conserving, everything above K kept idle.
+//
+// Decisions changed vs CFS:
+//   - wakeup/fork placement: pack onto the lowest-id idle cpu of the active
+//     set (previous cpu preferred when it qualifies, for cache reuse), else
+//     the least-occupied active cpu. All nodes are candidates, so the
+//     Overload-on-Wakeup node-local blind spot does not exist here.
+//   - balancing: the CFS balancers run only while some online cpu is
+//     overloaded (nr_running >= 2). Once every thread has a core, balancing
+//     is suppressed so the spread never undoes the consolidation.
+//
+// Pick-next, preemption, and all accounting stay CFS (inherited defaults).
+#ifndef SRC_MODSCHED_COREIDLE_POLICY_H_
+#define SRC_MODSCHED_COREIDLE_POLICY_H_
+
+#include "src/core/sched_policy.h"
+
+namespace wcores {
+
+class CoreIdlePolicy : public SchedPolicy {
+ public:
+  const char* name() const override { return "coreidle"; }
+
+  CpuId SelectWakeCpu(Time now, const SchedEntity& se, CpuId waker_cpu,
+                      CpuSet* considered) override;
+  CpuId SelectForkCpu(Time now, const SchedEntity& se, CpuId parent_cpu) override;
+  void PeriodicBalance(Time now, CpuId cpu) override;
+  void NewIdleBalance(Time now, CpuId cpu) override;
+  void NohzBalance(Time now, CpuId cpu) override;
+
+  // The cores the policy is currently willing to run work on (test/tool
+  // introspection; recomputed per call).
+  CpuSet ActiveSet() const;
+
+ private:
+  bool AnyOverloaded() const;
+  CpuId Place(const SchedEntity& se, CpuId prev, CpuSet* considered) const;
+};
+
+}  // namespace wcores
+
+#endif  // SRC_MODSCHED_COREIDLE_POLICY_H_

@@ -16,6 +16,7 @@
 #ifndef SRC_MODSCHED_MODULES_H_
 #define SRC_MODSCHED_MODULES_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/core/scheduler.h"
@@ -89,7 +90,17 @@ class LoadSpreadModule : public WakePolicy {
 // defensible way: a strict priority order.
 class ModuleChain : public WakePolicy {
  public:
+  // Borrow a module. The caller keeps ownership and must keep it alive for
+  // the chain's lifetime (the usual shape: module and chain on one stack
+  // frame, chain declared last).
   void Add(WakePolicy* module) { modules_.push_back(module); }
+
+  // Own a module: it lives exactly as long as the chain. Prefer this when
+  // the chain is long-lived or handed across scopes.
+  void Add(std::unique_ptr<WakePolicy> module) {
+    modules_.push_back(module.get());
+    owned_.push_back(std::move(module));
+  }
 
   CpuId Suggest(const WakeContext& ctx) override {
     for (WakePolicy* module : modules_) {
@@ -107,7 +118,8 @@ class ModuleChain : public WakePolicy {
   const char* last_winner() const { return last_winner_; }
 
  private:
-  std::vector<WakePolicy*> modules_;
+  std::vector<WakePolicy*> modules_;            // Priority order; borrowed or owned below.
+  std::vector<std::unique_ptr<WakePolicy>> owned_;
   const char* last_winner_ = nullptr;
 };
 

@@ -1,0 +1,44 @@
+#include "src/modsched/policy_registry.h"
+
+#include "src/modsched/coreidle_policy.h"
+#include "src/modsched/o1_policy.h"
+
+namespace wcores {
+
+namespace {
+
+struct PolicyEntry {
+  const char* name;
+  std::unique_ptr<SchedPolicy> (*make)();
+};
+
+// The arena roster. To add a policy: implement SchedPolicy, add one line.
+constexpr PolicyEntry kPolicies[] = {
+    {"cfs", [] { return std::unique_ptr<SchedPolicy>(new CfsPolicy()); }},
+    {"o1", [] { return std::unique_ptr<SchedPolicy>(new O1Policy()); }},
+    {"coreidle", [] { return std::unique_ptr<SchedPolicy>(new CoreIdlePolicy()); }},
+};
+
+}  // namespace
+
+std::unique_ptr<SchedPolicy> CreateSchedPolicy(const std::string& name) {
+  for (const PolicyEntry& e : kPolicies) {
+    if (name == e.name) {
+      return e.make();
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& SchedPolicyNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* v = new std::vector<std::string>();
+    for (const PolicyEntry& e : kPolicies) {
+      v->push_back(e.name);
+    }
+    return v;
+  }();
+  return *names;
+}
+
+}  // namespace wcores

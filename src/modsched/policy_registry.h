@@ -1,0 +1,31 @@
+// The policy registry: name -> fresh SchedPolicy instance.
+//
+// Every registered policy is exercised by the conformance suite
+// (tests/modsched/) and by sweep_driver's --policy axis, so adding a policy
+// here is what puts it "in the arena": one class + one registration line
+// buys the invariant fuzzing, the paper-bug matrix, a golden trace hash,
+// and a leaderboard column.
+//
+// Factories return a *fresh* instance per call — policies hold per-machine
+// state and must never be shared across schedulers (the sweep runs
+// scenarios concurrently).
+#ifndef SRC_MODSCHED_POLICY_REGISTRY_H_
+#define SRC_MODSCHED_POLICY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sched_policy.h"
+
+namespace wcores {
+
+// Creates the named policy, or null for an unknown name.
+std::unique_ptr<SchedPolicy> CreateSchedPolicy(const std::string& name);
+
+// Registered names, in registration order ("cfs" first).
+const std::vector<std::string>& SchedPolicyNames();
+
+}  // namespace wcores
+
+#endif  // SRC_MODSCHED_POLICY_REGISTRY_H_

@@ -14,7 +14,7 @@ Simulator::Simulator(const Topology& topo, Options options, TraceSink* trace)
       tunables_(options.tunables_set ? options.tunables : SchedTunables::ForCpus(topo.n_cores())),
       rng_(options.seed),
       acct_(topo.n_cores()) {
-  sched_ = std::make_unique<Scheduler>(topo, features_, tunables_, this, trace);
+  sched_ = std::make_unique<Scheduler>(topo, features_, tunables_, this, trace, options.policy);
   cores_.resize(topo.n_cores());
 }
 

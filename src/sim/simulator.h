@@ -35,6 +35,9 @@ class Simulator : public SchedClient {
     SchedTunables tunables;
     bool tunables_set = false;
     uint64_t seed = 1;
+    // Scheduling policy (src/core/sched_policy.h); null = CFS. Borrowed:
+    // must outlive the simulator, one instance per simulator.
+    SchedPolicy* policy = nullptr;
   };
 
   Simulator(const Topology& topo, Options options, TraceSink* trace = nullptr);

@@ -47,6 +47,12 @@ struct Scenario {
   // kRandomMix only.
   int mix_threads = 24;
 
+  // Scheduling policy, by registry name (src/modsched/policy_registry.h):
+  // "cfs" (default), "o1", "coreidle". Empty bypasses the registry and runs
+  // the scheduler's own built-in CfsPolicy; cfs_bitexact_test pins that the
+  // two CFS paths produce byte-identical traces.
+  std::string policy = "cfs";
+
   // Attach the bounded-memory streaming telemetry pipeline (TelemetryStream)
   // alongside the trace hash. The stream is a pure observer — the trace
   // hash must be byte-identical with or without it (determinism_test pins

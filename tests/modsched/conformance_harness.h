@@ -1,0 +1,241 @@
+// Reusable cross-policy conformance harness.
+//
+// Every scheduling policy in the registry (src/modsched/policy_registry.h)
+// is run through the same machinery: seeded random topologies, feature
+// sets, and workload mixes, with the *mechanism-level* invariants checked
+// at fixed virtual-time intervals. These are the guarantees the core owes
+// regardless of which policy is making decisions:
+//
+//  * Thread census — every alive thread is exactly one of running / queued /
+//    blocked; per-cpu counts match rq nr_running; the running entity matches
+//    CurrentThread.
+//  * Placement legality — every on_rq entity sits on an online cpu inside
+//    its affinity mask (or anywhere online once the mask has no online
+//    member).
+//  * Per-cfs_rq min_vruntime never decreases (the runqueue owns vruntime
+//    accounting even when a policy picks non-leftmost entities).
+//  * Load-sum conservation — cached RqLoad equals a from-scratch
+//    recomputation, bit for bit; same for the balancer group-stats memo.
+//  * Runqueue structure (red-black invariants, weight accounting) and the
+//    incremental idle index vs. a linear-scan oracle.
+//  * Sanity-checker parity — Algorithm 2's CheckOnce fires iff an
+//    independent scan finds an idle core next to a stealable backlog. (How
+//    *often* it fires is the policy's business — COREIDLE packs on purpose —
+//    but the detector and the scan must always agree.)
+//
+// Seeding follows fuzz_invariants_test.cc: WC_FUZZ_SEED (env) overrides the
+// base seed and every failure message carries the repro command.
+#ifndef TESTS_MODSCHED_CONFORMANCE_HARNESS_H_
+#define TESTS_MODSCHED_CONFORMANCE_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/modsched/policy_registry.h"
+#include "src/sim/simulator.h"
+#include "src/simkit/rng.h"
+#include "src/tools/sanity_checker.h"
+#include "src/topo/topology.h"
+#include "src/workloads/behaviors.h"
+
+namespace wcores {
+namespace conformance {
+
+inline uint64_t BaseSeed() {
+  const char* env = std::getenv("WC_FUZZ_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 20260808ULL;
+}
+
+inline std::string ReproCommand(const std::string& policy, uint64_t seed) {
+  return "policy=" + policy + "; reproduce with: WC_FUZZ_SEED=" + std::to_string(seed) +
+         " ctest --test-dir build -R modsched.PolicyConformance --output-on-failure";
+}
+
+inline Topology RandomTopology(Rng& rng) {
+  switch (rng.NextBelow(4)) {
+    case 0: return Topology::Flat(1, 4);
+    case 1: return Topology::Flat(2, 4);
+    case 2: return Topology::Flat(4, 8);
+    default: return Topology::Bulldozer8x8();
+  }
+}
+
+inline SchedFeatures RandomFeatures(Rng& rng) {
+  SchedFeatures f;
+  f.fix_group_imbalance = rng.NextBool(0.5);
+  f.fix_group_construction = rng.NextBool(0.5);
+  f.fix_overload_wakeup = rng.NextBool(0.5);
+  f.fix_missing_domains = rng.NextBool(0.5);
+  f.autogroup_enabled = rng.NextBool(0.8);
+  return f;
+}
+
+inline void SpawnRandomMix(Simulator& sim, Rng& rng, int threads) {
+  int n_cores = sim.topo().n_cores();
+  AutogroupId groups[3] = {kRootAutogroup, sim.CreateAutogroup(), sim.CreateAutogroup()};
+  for (int i = 0; i < threads; ++i) {
+    Simulator::SpawnParams params;
+    params.parent_cpu = static_cast<CpuId>(rng.NextBelow(static_cast<uint64_t>(n_cores)));
+    params.nice = static_cast<int>(rng.NextBelow(7)) - 3;
+    params.autogroup = groups[rng.NextBelow(3)];
+    if (rng.NextBool(0.25)) {
+      params.affinity =
+          CpuSet::Single(static_cast<CpuId>(rng.NextBelow(static_cast<uint64_t>(n_cores))));
+    }
+    std::vector<Action> script;
+    if (rng.NextBool(0.3)) {
+      script = {ComputeAction{Seconds(1)}};  // Hog: outlives the horizon.
+      sim.Spawn(std::make_unique<ScriptBehavior>(std::move(script)), params);
+    } else {
+      script = {ComputeAction{rng.NextTime(Microseconds(200), Milliseconds(3))},
+                SleepAction{rng.NextTime(Microseconds(100), Milliseconds(2))}};
+      sim.Spawn(std::make_unique<ScriptBehavior>(std::move(script), /*repeat=*/1000), params);
+    }
+  }
+}
+
+// The idle-index oracle: from-scratch linear scan, original tie-break.
+inline CpuId ScanLongestIdle(const Scheduler& sched, int n_cores) {
+  CpuId best = kInvalidCpu;
+  Time best_since = kTimeNever;
+  for (CpuId cpu = 0; cpu < n_cores; ++cpu) {
+    if (!sched.IsOnline(cpu) || !sched.IsIdleCpu(cpu)) {
+      continue;
+    }
+    if (sched.IdleSince(cpu) < best_since) {
+      best_since = sched.IdleSince(cpu);
+      best = cpu;
+    }
+  }
+  return best;
+}
+
+// One mechanism-invariant sweep over the whole machine at the current
+// instant. Policy-agnostic by construction: nothing here asks who decided a
+// placement, only whether the core's bookkeeping is coherent and legal.
+class PolicyInvariantChecker {
+ public:
+  explicit PolicyInvariantChecker(Simulator* sim)
+      : sim_(sim), checker_(sim), last_min_vruntime_(sim->topo().n_cores(), 0) {}
+
+  int checks() const { return checks_; }
+  int violations_seen() const { return violations_seen_; }
+
+  void Check() {
+    checks_ += 1;
+    const Scheduler& sched = sim_->sched();
+    const Time now = sim_->Now();
+    const int n_cores = sim_->topo().n_cores();
+
+    // Census, classified from the entity side.
+    std::vector<int> on_rq_count(n_cores, 0);
+    std::vector<int> running_count(n_cores, 0);
+    for (ThreadId tid = 0; tid < sched.ThreadCount(); ++tid) {
+      const SchedEntity& se = sched.Entity(tid);
+      if (se.running) {
+        ASSERT_TRUE(se.on_rq) << "tid " << tid << " running but not on_rq";
+      }
+      if (se.on_rq) {
+        ASSERT_GE(se.cpu, 0) << "tid " << tid;
+        ASSERT_LT(se.cpu, n_cores) << "tid " << tid;
+        // Placement legality: online, and inside the affinity mask unless
+        // the mask has no online member at this instant.
+        ASSERT_TRUE(sched.IsOnline(se.cpu)) << "tid " << tid << " queued on offline cpu";
+        ASSERT_TRUE(se.affinity.Test(se.cpu) || (se.affinity & sched.OnlineCpus()).Empty())
+            << "tid " << tid << " placed outside its affinity mask on cpu " << se.cpu;
+        on_rq_count[se.cpu] += 1;
+        if (se.running) {
+          running_count[se.cpu] += 1;
+          ASSERT_EQ(sched.CurrentThread(se.cpu), tid)
+              << "tid " << tid << " claims to run on cpu " << se.cpu;
+        }
+      }
+    }
+    for (CpuId cpu = 0; cpu < n_cores; ++cpu) {
+      ASSERT_EQ(on_rq_count[cpu], sched.NrRunning(cpu))
+          << "cpu " << cpu << ": entity census disagrees with rq nr_running at t=" << now;
+      ASSERT_LE(running_count[cpu], 1) << "cpu " << cpu << ": two running entities";
+      ThreadId curr = sched.CurrentThread(cpu);
+      ASSERT_EQ(running_count[cpu], curr != kInvalidThread ? 1 : 0) << "cpu " << cpu;
+
+      ASSERT_TRUE(sched.ValidateRq(cpu)) << "cpu " << cpu << " rq invariants broken at t=" << now;
+
+      Time mv = sched.MinVruntime(cpu);
+      ASSERT_GE(mv, last_min_vruntime_[cpu]) << "cpu " << cpu << " min_vruntime went backwards";
+      last_min_vruntime_[cpu] = mv;
+
+      ASSERT_EQ(sched.RqLoad(now, cpu), sched.RqLoadRecomputed(now, cpu))
+          << "cpu " << cpu << " cached load diverged from recomputation at t=" << now;
+    }
+
+    ASSERT_TRUE(sched.ValidateGroupCache(now))
+        << "group-stats memo diverged from recomputation at t=" << now;
+    ASSERT_TRUE(sched.ValidateIdleIndex()) << "idle index diverged at t=" << now;
+    ASSERT_EQ(sched.LongestIdleCpu(sim_->topo().AllCpus()), ScanLongestIdle(sched, n_cores))
+        << "indexed LongestIdleCpu disagrees with linear scan at t=" << now;
+
+    // Sanity-checker parity with an independent scan.
+    bool expect_violation = false;
+    for (CpuId idle : sched.OnlineCpus()) {
+      if (sched.NrRunning(idle) >= 1) {
+        continue;
+      }
+      for (CpuId busy : sched.OnlineCpus()) {
+        if (busy != idle && sched.NrRunning(busy) >= 2 && sched.CanSteal(idle, busy)) {
+          expect_violation = true;
+          break;
+        }
+      }
+      if (expect_violation) {
+        break;
+      }
+    }
+    CpuId idle_cpu = kInvalidCpu;
+    CpuId overloaded_cpu = kInvalidCpu;
+    bool fired = checker_.CheckOnce(&idle_cpu, &overloaded_cpu);
+    ASSERT_EQ(fired, expect_violation) << "sanity checker disagrees with independent scan";
+    if (fired) {
+      ASSERT_TRUE(sched.IsIdleCpu(idle_cpu));
+      ASSERT_GE(sched.NrRunning(overloaded_cpu), 2);
+      ASSERT_TRUE(sched.CanSteal(idle_cpu, overloaded_cpu));
+      violations_seen_ += 1;
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  SanityChecker checker_;
+  std::vector<Time> last_min_vruntime_;
+  int checks_ = 0;
+  int violations_seen_ = 0;
+};
+
+// Re-arming check callback. Must stay two pointers wide to fit
+// InlineCallback's inline buffer, so the cadence is fixed here rather than
+// carried in the struct: one sweep every kCheckInterval (odd, so it drifts
+// across tick boundaries) until kCheckHorizon.
+constexpr Time kCheckInterval = Microseconds(997);
+constexpr Time kCheckHorizon = Milliseconds(200);
+
+struct RearmingCheck {
+  PolicyInvariantChecker* checker;
+  Simulator* sim;
+  void operator()() const {
+    checker->Check();
+    if (sim->Now() < kCheckHorizon && !::testing::Test::HasFatalFailure()) {
+      sim->After(kCheckInterval, *this);
+    }
+  }
+};
+
+}  // namespace conformance
+}  // namespace wcores
+
+#endif  // TESTS_MODSCHED_CONFORMANCE_HARNESS_H_

@@ -127,6 +127,26 @@ TEST(ModularSchedTest, ChainUsesPriorityOrder) {
   EXPECT_STREQ(chain.last_winner(), "cache-affinity");
 }
 
+// The chain can own its modules: nothing here keeps the module alive except
+// the chain itself, so a lifetime bug would be a use-after-free under ASan.
+TEST(ModularSchedTest, ChainOwnsModulesAddedByUniquePtr) {
+  Topology topo = Topology::Flat(2, 2, 1);
+  NullClient client;
+  Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(4), &client);
+  auto chain = std::make_unique<ModuleChain>();
+  chain->Add(std::make_unique<CacheAffinityModule>());
+  chain->Add(std::make_unique<LoadSpreadModule>());
+  sched.set_wake_policy(chain.get());
+  ThreadParams p;
+  p.parent_cpu = 2;
+  ThreadId tid = sched.CreateThread(0, p);
+  sched.PickNext(0, 2);
+  sched.BlockCurrent(Milliseconds(1), 2);
+  CpuId cpu = sched.Wake(Milliseconds(2), tid, 0);
+  EXPECT_EQ(cpu, 2);
+  EXPECT_STREQ(chain->last_winner(), "cache-affinity");
+}
+
 TEST(ModularSchedTest, NumaLocalityPrefersIdleCoreOfOwnNode) {
   Topology topo = Topology::Flat(2, 2, 1);
   NullClient client;
