@@ -3,7 +3,12 @@
 #
 #   1. lint    - build wc-lint and run it over src/ and bench/. Any
 #                error-severity finding or reason-less suppression fails the
-#                gate before we spend time on the build matrix.
+#                gate before we spend time on the build matrix. Then build
+#                wc-analyze and run the interprocedural pass (A1 taint to
+#                trace sinks, A2 hot-path allocation, A3 policy confinement,
+#                A4 fold-order drift) over the same tree, emitting SARIF.
+#                The whole analysis is budgeted at <5s wall so it stays a
+#                pre-matrix gate, not a build-matrix peer.
 #   2. matrix  - build and test the Release and ASan+UBSan configurations.
 #                The sanitizer run is what gives the determinism goldens and
 #                the randomized invariant fuzzer their teeth: an optimization
@@ -46,6 +51,22 @@ cmake --preset release
 cmake --build --preset release -j "$JOBS" --target wc-lint
 echo "==== [lint] wc-lint src bench ===="
 ./build-release/src/tools/wc-lint src bench
+
+echo "==== [analyze] build wc-analyze ===="
+cmake --build --preset release -j "$JOBS" --target wc-analyze
+echo "==== [analyze] wc-analyze src bench (interprocedural A1-A4) ===="
+ANALYZE_SARIF="$(mktemp --suffix=.sarif)"
+ANALYZE_T0="$(date +%s%3N)"
+./build-release/src/tools/wc-analyze --root=. --sarif="$ANALYZE_SARIF" src bench
+ANALYZE_T1="$(date +%s%3N)"
+ANALYZE_MS="$((ANALYZE_T1 - ANALYZE_T0))"
+echo "wc-analyze wall time: ${ANALYZE_MS}ms"
+# The analyzer earns its pre-matrix slot by being effectively free; if the
+# whole-tree pass ever crosses 5s the gate itself has regressed.
+test "$ANALYZE_MS" -lt 5000
+test -s "$ANALYZE_SARIF"
+grep -q '"\$schema"' "$ANALYZE_SARIF"
+rm -f "$ANALYZE_SARIF"
 
 for preset in release asan-ubsan; do
   echo "==== [$preset] configure ===="

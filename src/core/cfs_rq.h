@@ -96,6 +96,7 @@ class CfsRunqueue {
   template <typename DivisorFn>
   double LoadAt(Time now, DivisorFn&& divisor_of) const {
     bool ignored;
+    // wc-lint: allow(A4 this IS the canonical fold the memo caches)
     return LoadAt(now, divisor_of, &ignored);
   }
 
@@ -110,10 +111,12 @@ class CfsRunqueue {
     double total = 0;
     bool all_const = true;
     if (curr_ != nullptr) {
+      // wc-lint: allow(A4 curr-first is the pinned fold order the memo replays)
       total += EntityLoad(*curr_, now, divisor_of(curr_->autogroup));
       all_const = all_const && curr_->load.ConstantFrom(now);
     }
     tree_.ForEach([&](const SchedEntity* se) {
+      // wc-lint: allow(A4 vruntime-order tree walk is the pinned fold order)
       total += EntityLoad(*se, now, divisor_of(se->autogroup));
       all_const = all_const && se->load.ConstantFrom(now);
       return true;
@@ -123,6 +126,7 @@ class CfsRunqueue {
   }
 
   static double EntityLoad(const SchedEntity& se, Time now, double divisor) {
+    // wc-lint: allow(A4 the one sanctioned per-entity read under LoadAt)
     return static_cast<double>(se.weight) * se.load.ValueAt(now) / divisor;
   }
 

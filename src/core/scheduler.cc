@@ -97,6 +97,7 @@ double Scheduler::RqLoad(Time now, CpuId cpu) const {
     return c.load_cache_value;
   }
   bool all_const = false;
+  // wc-lint: allow(A4 the memo's own fill path; every other balance read hits the cache above)
   double load = cpus_[cpu].rq.LoadAt(
       now, [this](AutogroupId id) { return AutogroupDivisor(id); }, &all_const);
   c.load_cache_now = now;

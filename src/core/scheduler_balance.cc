@@ -104,7 +104,9 @@ Scheduler::GroupLoadStats Scheduler::GroupStats(Time now, const CpuSet& cpus, in
   stats_.balance_group_cache_misses += 1;
   if (slot == nullptr) {
     idx = group_cache_.size();
+    // wc-lint: allow(A2 one-time fill per distinct group cpu-set; steady state always hits)
     group_cache_.emplace_back();
+    // wc-lint: allow(A2 grows with group_cache_, bounded by distinct domain groups)
     group_cache_keys_.push_back(cpus);
     slot = &group_cache_.back();
     slot->cpus = cpus;
@@ -333,8 +335,10 @@ int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load
     bool cache_hot = se->last_ran != 0 && now > se->last_ran &&
                      now - se->last_ran < tunables_.cache_hot_threshold;
     if (cache_hot) {
+      // wc-lint: allow(A2 bounded by source-rq residents; one pass per balance)
       hot.push_back(const_cast<SchedEntity*>(se));
     } else {
+      // wc-lint: allow(A2 bounded by source-rq residents; one pass per balance)
       candidates.push_back(const_cast<SchedEntity*>(se));
     }
     return true;
@@ -359,7 +363,7 @@ int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load
     if (src.rq.nr_running() <= 1) {
       break;
     }
-    // wc-lint: allow(D6 single-entity migration pick; group aggregates still come from GroupStats)
+    // wc-lint: allow(D6 single-entity pick; aggregates still come from GroupStats) allow(A4 one-entity read to debit moved load; not a rq-sum fold)
     double load = CfsRunqueue::EntityLoad(*se, now, AutogroupDivisor(se->autogroup));
     src.rq.DequeueQueued(se, now);
     Time rel = se->vruntime > src.rq.min_vruntime() ? se->vruntime - src.rq.min_vruntime() : 0;

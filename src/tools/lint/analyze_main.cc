@@ -1,0 +1,145 @@
+// wc-analyze command line driver.
+//
+//   wc-analyze [--root=DIR] [--json=FILE] [--sarif=FILE] [--verbose] PATH...
+//
+// Parses every .h/.hpp/.cc/.cpp under the given paths into one symbol
+// table, builds the cross-file call graph, and runs the interprocedural
+// rules A1..A4 (see flow_rules.h). Severities come from the same
+// .wc-lint.policy files wc-lint reads — A rules are configured next to the
+// D rules — and the same inline allow() grammar suppresses findings.
+//
+// Exit status: 1 if any unsuppressed error-severity finding was emitted,
+// 2 on IO/flag errors, else 0.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tools/lint/ast.h"
+#include "src/tools/lint/callgraph.h"
+#include "src/tools/lint/driver.h"
+#include "src/tools/lint/flow_rules.h"
+#include "src/tools/lint/policy.h"
+#include "src/tools/lint/symtab.h"
+
+namespace wcores::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A1/A3/A4 guard the determinism and layering contracts everywhere; A2 is
+// opt-in per hot-path directory (the simulation core turns it on in its
+// .wc-lint.policy, test/bench scaffolding stays quiet).
+std::map<std::string, Severity> AnalyzeDefaults() {
+  return {{"A1", Severity::kError},
+          {"A2", Severity::kOff},
+          {"A3", Severity::kError},
+          {"A4", Severity::kError}};
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_path;
+  std::string sarif_path;
+  std::string root = ".";
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: wc-analyze [--root=DIR] [--json=FILE] [--sarif=FILE] [--verbose] "
+                   "PATH...\n"
+                   "Rules:\n");
+      for (const RuleInfo& r : AnalyzeRuleCatalog()) {
+        std::fprintf(stderr, "  %s  %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "wc-analyze: unknown flag '%s' (try --help)\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "wc-analyze: no paths given (try --help)\n");
+    return 2;
+  }
+
+  std::vector<std::string> io_errors;
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    CollectFiles(p, &files, &io_errors);
+  }
+
+  // Parse headers before implementation files so class definitions land in
+  // the symbol table from their declaring header.
+  std::stable_sort(files.begin(), files.end(), [](const fs::path& a, const fs::path& b) {
+    bool ah = a.extension() == ".h" || a.extension() == ".hpp";
+    bool bh = b.extension() == ".h" || b.extension() == ".hpp";
+    return ah && !bh;
+  });
+
+  PolicyCache policies;
+  std::map<std::string, Severity> defaults = AnalyzeDefaults();
+  std::map<std::string, std::map<std::string, Severity>> severities_for;
+  SymbolTable syms;
+  for (const fs::path& file : files) {
+    bool ok = false;
+    std::string source = ReadFileToString(file, &ok);
+    if (!ok) {
+      io_errors.push_back(file.string() + ": unreadable");
+      continue;
+    }
+    std::string name = file.generic_string();
+    std::vector<const Policy*> chain = PolicyChainFor(file, root, &policies, &io_errors);
+    severities_for[name] = ResolveSeverities(chain, defaults, file.filename().string());
+    syms.AddUnit(ParseUnit(name, source));
+  }
+  syms.Finalize();
+  CallGraph graph(syms);
+  AnalyzeResult result = RunAnalysis(syms, graph, AnalyzeConfig{}, severities_for);
+
+  for (const Finding& f : result.findings) {
+    if (!f.suppressed || verbose) {
+      std::printf("%s\n", FormatFinding(f).c_str());
+    }
+  }
+  for (const std::string& e : io_errors) {
+    std::fprintf(stderr, "wc-analyze: %s\n", e.c_str());
+  }
+  if (!json_path.empty() && !WriteSarifReport(json_path, "wc-analyze", AnalyzeRuleCatalog(),
+                                              result.findings, /*with_schema=*/false)) {
+    std::fprintf(stderr, "wc-analyze: cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  if (!sarif_path.empty() && !WriteSarifReport(sarif_path, "wc-analyze", AnalyzeRuleCatalog(),
+                                               result.findings, /*with_schema=*/true)) {
+    std::fprintf(stderr, "wc-analyze: cannot write %s\n", sarif_path.c_str());
+    return 2;
+  }
+  std::printf(
+      "wc-analyze: %zu files, %d functions, %d hot-reachable, %d errors, %d warnings, "
+      "%d suppressed\n",
+      files.size(), result.functions, result.hot_reachable, result.errors, result.warnings,
+      result.suppressed);
+  if (!io_errors.empty()) {
+    return 2;
+  }
+  return result.errors > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace wcores::lint
+
+int main(int argc, char** argv) { return wcores::lint::Main(argc, argv); }

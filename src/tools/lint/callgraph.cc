@@ -1,0 +1,137 @@
+#include "src/tools/lint/callgraph.h"
+
+#include <deque>
+#include <set>
+
+namespace wcores::lint {
+
+namespace {
+
+// Adds the candidate callee `r` for a call whose receiver is (or derives
+// from) class `recv`. Methods of `recv` itself, of its ancestors (inherited
+// implementations) and of its descendants (virtual overrides) all qualify.
+bool ReceiverMatches(const SymbolTable& syms, const std::string& recv, const FnRef& r) {
+  return syms.DerivesFrom(recv, r.def->cls) || syms.DerivesFrom(r.def->cls, recv);
+}
+
+}  // namespace
+
+CallGraph::CallGraph(const SymbolTable& syms) : syms_(syms) {
+  const std::vector<FnRef>& fns = syms.functions();
+  edges_.resize(fns.size());
+  redges_.resize(fns.size());
+  for (const FnRef& caller : fns) {
+    std::set<int> seen;  // Dedup edges per caller.
+    for (const CallSite& cs : caller.def->calls) {
+      std::vector<const FnRef*> targets;
+      if (!cs.qualifier.empty() && syms.FindClass(cs.qualifier) != nullptr) {
+        // Qualified static-ish call: Cls::Fn(...).
+        for (const FnRef* r : syms.MethodsNamed(cs.callee)) {
+          if (syms.DerivesFrom(cs.qualifier, r->def->cls)) {
+            targets.push_back(r);
+          }
+        }
+      } else if (!cs.qualifier.empty()) {
+        // Namespace-qualified free call.
+        targets = syms.FreeFunctionsNamed(cs.callee);
+      } else if (cs.via_member) {
+        if (cs.object == "this" && !caller.def->cls.empty()) {
+          for (const FnRef* r : syms.MethodsNamed(cs.callee)) {
+            if (ReceiverMatches(syms, caller.def->cls, *r)) {
+              targets.push_back(r);
+            }
+          }
+        } else {
+          // Receiver class unknown: link every method of that name.
+          targets = syms.MethodsNamed(cs.callee);
+        }
+      } else {
+        // Unqualified: implicit this-> members of the enclosing class, plus
+        // free functions.
+        if (!caller.def->cls.empty()) {
+          for (const FnRef* r : syms.MethodsNamed(cs.callee)) {
+            if (ReceiverMatches(syms, caller.def->cls, *r)) {
+              targets.push_back(r);
+            }
+          }
+        }
+        for (const FnRef* r : syms.FreeFunctionsNamed(cs.callee)) {
+          targets.push_back(r);
+        }
+      }
+      for (const FnRef* r : targets) {
+        if (r->id == caller.id || !seen.insert(r->id).second) {
+          continue;
+        }
+        edges_[caller.id].push_back(Edge{r->id, &cs});
+        redges_[r->id].push_back(caller.id);
+      }
+    }
+  }
+}
+
+Reach CallGraph::Forward(const std::vector<int>& roots) const {
+  Reach r;
+  r.in_set.assign(edges_.size(), false);
+  r.parent.assign(edges_.size(), -1);
+  std::deque<int> work;
+  for (int id : roots) {
+    if (id >= 0 && id < NodeCount() && !r.in_set[id]) {
+      r.in_set[id] = true;
+      work.push_back(id);
+    }
+  }
+  while (!work.empty()) {
+    int cur = work.front();
+    work.pop_front();
+    for (const Edge& e : edges_[cur]) {
+      if (!r.in_set[e.to]) {
+        r.in_set[e.to] = true;
+        r.parent[e.to] = cur;
+        work.push_back(e.to);
+      }
+    }
+  }
+  return r;
+}
+
+Reach CallGraph::Backward(const std::vector<int>& targets) const {
+  Reach r;
+  r.in_set.assign(edges_.size(), false);
+  r.parent.assign(edges_.size(), -1);
+  std::deque<int> work;
+  for (int id : targets) {
+    if (id >= 0 && id < NodeCount() && !r.in_set[id]) {
+      r.in_set[id] = true;
+      work.push_back(id);
+    }
+  }
+  while (!work.empty()) {
+    int cur = work.front();
+    work.pop_front();
+    for (int from : redges_[cur]) {
+      if (!r.in_set[from]) {
+        r.in_set[from] = true;
+        r.parent[from] = cur;  // Points one hop toward the target.
+        work.push_back(from);
+      }
+    }
+  }
+  return r;
+}
+
+std::string CallGraph::Chain(const Reach& r, int id) const {
+  std::string out;
+  int cur = id;
+  int guard = 0;
+  while (cur >= 0 && guard++ < 32) {
+    if (!out.empty()) {
+      out += " -> ";
+    }
+    out += SymbolTable::IdOf(*syms_.functions()[cur].def);
+    cur = r.parent[cur];
+  }
+  return out;
+}
+
+}  // namespace wcores::lint

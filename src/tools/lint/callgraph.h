@@ -1,0 +1,52 @@
+// Cross-file call graph over SymbolTable function definitions.
+//
+// Resolution is deliberately an over-approximation: a member call through an
+// object of statically unknown class links to EVERY method of that name
+// (virtual-dispatch closure). For reachability rules that is the safe
+// direction — a spurious edge can only make a finding fire that a human then
+// reason-allows; a missing edge would silently hide one.
+#ifndef SRC_TOOLS_LINT_CALLGRAPH_H_
+#define SRC_TOOLS_LINT_CALLGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tools/lint/symtab.h"
+
+namespace wcores::lint {
+
+struct Edge {
+  int to = 0;                     // Callee node id.
+  const CallSite* site = nullptr;  // The syntactic call that induced it.
+};
+
+// Forward/backward reachability result. `parent` lets rule messages print a
+// witness chain: for Forward() parent points toward the root, for Backward()
+// toward the target.
+struct Reach {
+  std::vector<bool> in_set;
+  std::vector<int> parent;  // -1 for roots/targets and unreached nodes.
+};
+
+class CallGraph {
+ public:
+  explicit CallGraph(const SymbolTable& syms);
+
+  int NodeCount() const { return static_cast<int>(edges_.size()); }
+  const std::vector<Edge>& EdgesFrom(int id) const { return edges_[id]; }
+
+  Reach Forward(const std::vector<int>& roots) const;
+  Reach Backward(const std::vector<int>& targets) const;
+
+  // "A -> B -> C": the witness path from node `id` following parents.
+  std::string Chain(const Reach& r, int id) const;
+
+ private:
+  const SymbolTable& syms_;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<std::vector<int>> redges_;  // Reverse adjacency (ids only).
+};
+
+}  // namespace wcores::lint
+
+#endif  // SRC_TOOLS_LINT_CALLGRAPH_H_

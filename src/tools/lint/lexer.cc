@@ -109,7 +109,50 @@ class Lexer {
       LexString('\'');
       return;
     }
+    if (c == '[' && cur_.Peek(1) == '[') {
+      LexAttribute();
+      return;
+    }
     LexPunct();
+  }
+
+  // [[attr]] / [[ns::attr(args)]] as a single token. Attribute arguments may
+  // contain string literals (e.g. [[deprecated("why")]]) whose brackets must
+  // not count toward nesting.
+  void LexAttribute() {
+    size_t start = cur_.pos();
+    int line = cur_.line();
+    cur_.Advance();  // '['
+    cur_.Advance();  // '['
+    int depth = 2;
+    while (!cur_.AtEnd() && depth > 0) {
+      char c = cur_.Peek();
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        cur_.Advance();
+        while (!cur_.AtEnd()) {
+          char d = cur_.Advance();
+          if (d == '\\' && !cur_.AtEnd()) {
+            cur_.Advance();
+            continue;
+          }
+          if (d == quote || d == '\n') {
+            break;
+          }
+        }
+        continue;
+      }
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        --depth;
+      }
+      cur_.Advance();
+    }
+    if (depth > 0) {
+      Error(line, "unterminated [[attribute]]");
+    }
+    Emit(TokKind::kAttribute, start, line);
   }
 
   // A whole preprocessor logical line, backslash continuations included.

@@ -16,12 +16,14 @@
 namespace wcores::lint {
 
 enum class TokKind {
-  kIdent,    // identifiers and keywords
-  kNumber,   // pp-numbers: 123, 0x1f, 1.5e3, 0x1.0p-53, 1'000'000
-  kString,   // "..."  '...'  R"tag(...)tag"  (prefix included in text)
-  kPunct,    // operators and punctuation, longest-match up to 3 chars
-  kComment,  // // ... and /* ... */, text includes the delimiters
-  kPreproc,  // a whole preprocessor logical line, continuations included
+  kIdent,      // identifiers and keywords
+  kNumber,     // pp-numbers: 123, 0x1f, 1.5e3, 0x1.0p-53, 1'000'000
+  kString,     // "..."  '...'  R"tag(...)tag"  (prefix included in text)
+  kPunct,      // operators and punctuation, longest-match up to 3 chars
+  kComment,    // // ... and /* ... */, text includes the delimiters
+  kPreproc,    // a whole preprocessor logical line, continuations included
+  kAttribute,  // [[...]] as one token, so attributes never desync
+               // token-offset-based rules or the declaration parser
 };
 
 struct Token {

@@ -1,23 +1,23 @@
 // wc-lint command line driver.
 //
-//   wc-lint [--root=DIR] [--json=FILE] [--verbose] PATH...
+//   wc-lint [--root=DIR] [--json=FILE] [--sarif=FILE] [--verbose] PATH...
 //
 // PATHs are files or directories (directories are walked recursively for
 // .h/.hpp/.cc/.cpp, in sorted order so output is stable). Severities come
 // from .wc-lint.policy files found between --root (default: the current
-// directory) and each source file; see policy.h for the format.
+// directory) and each source file; see policy.h for the format. --json keeps
+// the historical schema-less SARIF shape; --sarif adds the "$schema" member
+// for strict consumers.
 //
 // Exit status: 1 if any unsuppressed error-severity finding (including the
 // SUPPRESS meta-rule guarding reasonless annotations) was emitted, else 0.
-#include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/tools/lint/driver.h"
 #include "src/tools/lint/policy.h"
 #include "src/tools/lint/rules.h"
 
@@ -25,8 +25,6 @@ namespace wcores::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-const char kPolicyFileName[] = ".wc-lint.policy";
 
 // Built-in severities when no policy file says otherwise. D1 is the one
 // rule that is wrong everywhere; the directory-scoped rules default to warn
@@ -42,187 +40,26 @@ std::map<std::string, Severity> BuiltinDefaults() {
           {"D7", Severity::kOff}};
 }
 
-bool HasSourceExtension(const fs::path& p) {
-  std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
-}
-
-std::string ReadFile(const fs::path& p, bool* ok) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    *ok = false;
-    return {};
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *ok = true;
-  return buf.str();
-}
-
-// Loads (and caches) the policy of one directory; nullptr when it has none.
-class PolicyCache {
- public:
-  const Policy* ForDirectory(const fs::path& dir, std::vector<std::string>* errors) {
-    std::string key = dir.string();
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      return it->second.has_value() ? &*it->second : nullptr;
-    }
-    std::optional<Policy> loaded;
-    fs::path file = dir / kPolicyFileName;
-    std::error_code ec;
-    if (fs::exists(file, ec)) {
-      bool ok = false;
-      std::string text = ReadFile(file, &ok);
-      if (ok) {
-        loaded = ParsePolicy(text);
-        for (const std::string& e : loaded->errors) {
-          errors->push_back(file.string() + ": " + e);
-        }
-      } else {
-        errors->push_back(file.string() + ": unreadable");
-      }
-    }
-    auto [pos, _] = cache_.emplace(std::move(key), std::move(loaded));
-    return pos->second.has_value() ? &*pos->second : nullptr;
-  }
-
- private:
-  std::map<std::string, std::optional<Policy>> cache_;
-};
-
-// Policy chain for `file`: root-most directory first, the file's own
-// directory last (innermost wins in ResolveSeverities).
-std::vector<const Policy*> ChainFor(const fs::path& file, const fs::path& root,
-                                    PolicyCache* cache, std::vector<std::string>* errors) {
-  std::vector<fs::path> dirs;
-  fs::path dir = fs::absolute(file).lexically_normal().parent_path();
-  fs::path stop = fs::absolute(root).lexically_normal();
-  for (;;) {
-    dirs.push_back(dir);
-    if (dir == stop || dir == dir.parent_path()) {
-      break;
-    }
-    dir = dir.parent_path();
-  }
-  std::vector<const Policy*> chain;
-  for (auto it = dirs.rbegin(); it != dirs.rend(); ++it) {
-    if (const Policy* p = cache->ForDirectory(*it, errors)) {
-      chain.push_back(p);
-    }
-  }
-  return chain;
-}
-
-void CollectFiles(const fs::path& p, std::vector<fs::path>* out, std::vector<std::string>* errors) {
-  std::error_code ec;
-  if (fs::is_directory(p, ec)) {
-    std::vector<fs::path> entries;
-    for (const fs::directory_entry& e : fs::directory_iterator(p, ec)) {
-      entries.push_back(e.path());
-    }
-    if (ec) {
-      errors->push_back(p.string() + ": " + ec.message());
-      return;
-    }
-    // directory_iterator order is unspecified; sort so diagnostics, the JSON
-    // report, and the golden test are stable (wc-lint practices what D1/D2
-    // preach).
-    std::sort(entries.begin(), entries.end());
-    for (const fs::path& e : entries) {
-      if (fs::is_directory(e, ec)) {
-        CollectFiles(e, out, errors);
-      } else if (HasSourceExtension(e)) {
-        out->push_back(e);
-      }
-    }
-    return;
-  }
-  if (fs::exists(p, ec)) {
-    out->push_back(p);
-  } else {
-    errors->push_back(p.string() + ": no such file or directory");
-  }
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// SARIF 2.1.0-shaped report: tool.driver.rules + one result per finding.
-// Suppressed findings are included with a suppressions[] entry, as SARIF
-// models them, so CI artifacts show the waivers too.
-bool WriteJsonReport(const std::string& path, const std::vector<Finding>& findings) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return false;
-  }
-  out << "{\n  \"version\": \"2.1.0\",\n  \"runs\": [{\n";
-  out << "    \"tool\": {\"driver\": {\"name\": \"wc-lint\", \"rules\": [\n";
-  const auto& rules = RuleCatalog();
-  for (size_t i = 0; i < rules.size(); ++i) {
-    out << "      {\"id\": \"" << rules[i].id << "\", \"shortDescription\": {\"text\": \""
-        << JsonEscape(rules[i].summary) << "\"}}" << (i + 1 < rules.size() ? "," : "") << "\n";
-  }
-  out << "    ]}},\n    \"results\": [\n";
-  for (size_t i = 0; i < findings.size(); ++i) {
-    const Finding& f = findings[i];
-    out << "      {\"ruleId\": \"" << f.rule << "\", \"level\": \""
-        << (f.severity == Severity::kError ? "error" : "warning") << "\", "
-        << "\"message\": {\"text\": \"" << JsonEscape(f.message) << "\"}, "
-        << "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
-        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]";
-    if (f.suppressed) {
-      out << ", \"suppressions\": [{\"kind\": \"inSource\", \"justification\": \""
-          << JsonEscape(f.suppress_reason) << "\"}]";
-    }
-    out << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
-  }
-  out << "    ]\n  }]\n}\n";
-  return out.good();
-}
-
 int Main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string json_path;
+  std::string sarif_path;
   std::string root = ".";
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--help") {
       std::fprintf(stderr,
-                   "usage: wc-lint [--root=DIR] [--json=FILE] [--verbose] PATH...\n"
+                   "usage: wc-lint [--root=DIR] [--json=FILE] [--sarif=FILE] [--verbose] "
+                   "PATH...\n"
                    "Rules:\n");
       for (const RuleInfo& r : RuleCatalog()) {
         std::fprintf(stderr, "  %s  %s\n", r.id, r.summary);
@@ -252,12 +89,12 @@ int Main(int argc, char** argv) {
   int errors = 0, warnings = 0, suppressed = 0;
   for (const fs::path& file : files) {
     bool ok = false;
-    std::string source = ReadFile(file, &ok);
+    std::string source = ReadFileToString(file, &ok);
     if (!ok) {
       io_errors.push_back(file.string() + ": unreadable");
       continue;
     }
-    std::vector<const Policy*> chain = ChainFor(file, root, &policies, &io_errors);
+    std::vector<const Policy*> chain = PolicyChainFor(file, root, &policies, &io_errors);
     std::map<std::string, Severity> sev =
         ResolveSeverities(chain, defaults, file.filename().string());
     // The SUPPRESS meta-rule is always an error; it is not policy-tunable.
@@ -275,8 +112,14 @@ int Main(int argc, char** argv) {
   for (const std::string& e : io_errors) {
     std::fprintf(stderr, "wc-lint: %s\n", e.c_str());
   }
-  if (!json_path.empty() && !WriteJsonReport(json_path, all)) {
+  if (!json_path.empty() &&
+      !WriteSarifReport(json_path, "wc-lint", RuleCatalog(), all, /*with_schema=*/false)) {
     std::fprintf(stderr, "wc-lint: cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  if (!sarif_path.empty() &&
+      !WriteSarifReport(sarif_path, "wc-lint", RuleCatalog(), all, /*with_schema=*/true)) {
+    std::fprintf(stderr, "wc-lint: cannot write %s\n", sarif_path.c_str());
     return 2;
   }
   std::printf("wc-lint: %zu files, %d errors, %d warnings, %d suppressed\n", files.size(),

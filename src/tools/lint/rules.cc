@@ -21,26 +21,20 @@ const std::vector<RuleInfo>& RuleCatalog() {
 
 namespace {
 
-// An allow(RULE reason) annotation parsed from a comment. Covers findings on
-// the comment's own line (trailing style) and the next line (leading style).
-struct Suppression {
-  int line = 0;
-  std::string rule;
-  std::string reason;
-};
-
 std::string Trim(std::string s) {
   size_t b = s.find_first_not_of(" \t");
   size_t e = s.find_last_not_of(" \t");
   return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
 }
 
+}  // namespace
+
 // Scans one comment's text for the annotation marker and its allow clauses.
 // Malformed clauses become SUPPRESS findings right away. (The marker string
 // is assembled from pieces so this file's own comments and string literals
 // never parse as annotations.)
-void ParseSuppressions(const Token& comment, const std::string& path,
-                      std::vector<Suppression>* out, std::vector<Finding>* findings) {
+void ParseAllowAnnotations(const Token& comment, const std::string& path,
+                           std::vector<AllowSite>* out, std::vector<Finding>* findings) {
   static const std::string kMarker = std::string("wc-lint") + ":";
   const std::string& text = comment.text;
   size_t at = text.find(kMarker);
@@ -52,8 +46,10 @@ void ParseSuppressions(const Token& comment, const std::string& path,
     size_t open = pos + 5;  // index of '('
     size_t close = text.find(')', open);
     if (close == std::string::npos) {
-      findings->push_back(Finding{path, comment.line, "SUPPRESS", Severity::kError,
-                                  "malformed wc-lint annotation: allow( without closing ')'", false, {}});
+      if (findings != nullptr) {
+        findings->push_back(Finding{path, comment.line, "SUPPRESS", Severity::kError,
+                                    "malformed wc-lint annotation: allow( without closing ')'", false, {}});
+      }
       return;
     }
     std::string inner = text.substr(open + 1, close - open - 1);
@@ -61,19 +57,40 @@ void ParseSuppressions(const Token& comment, const std::string& path,
     std::string rule = space == std::string::npos ? Trim(inner) : Trim(inner.substr(0, space));
     std::string reason = space == std::string::npos ? std::string() : Trim(inner.substr(space));
     if (rule.empty()) {
-      findings->push_back(Finding{path, comment.line, "SUPPRESS", Severity::kError,
-                                  "wc-lint allow() names no rule", false, {}});
+      if (findings != nullptr) {
+        findings->push_back(Finding{path, comment.line, "SUPPRESS", Severity::kError,
+                                    "wc-lint allow() names no rule", false, {}});
+      }
     } else if (reason.empty()) {
-      findings->push_back(Finding{path, comment.line, "SUPPRESS", Severity::kError,
-                                  "suppression allow(" + rule +
-                                      ") is missing a reason; write allow(" + rule + " why)",
-                                  false, {}});
+      if (findings != nullptr) {
+        findings->push_back(Finding{path, comment.line, "SUPPRESS", Severity::kError,
+                                    "suppression allow(" + rule +
+                                        ") is missing a reason; write allow(" + rule + " why)",
+                                    false, {}});
+      }
     } else {
-      out->push_back(Suppression{comment.line, rule, reason});
+      out->push_back(AllowSite{comment.line, rule, reason});
     }
     pos = close;
   }
 }
+
+void ApplyAllows(const std::vector<AllowSite>& allows, std::vector<Finding>* findings) {
+  for (Finding& f : *findings) {
+    if (f.suppressed) {
+      continue;
+    }
+    for (const AllowSite& s : allows) {
+      if (s.rule == f.rule && (f.line == s.line || f.line == s.line + 1)) {
+        f.suppressed = true;
+        f.suppress_reason = s.reason;
+        break;
+      }
+    }
+  }
+}
+
+namespace {
 
 // The rule scanners work on the comment/preprocessor-free token stream.
 class Scanner {
@@ -83,7 +100,8 @@ class Scanner {
       : path_(path), severities_(severities) {
     code_.reserve(all.size());
     for (const Token& t : all) {
-      if (t.kind != TokKind::kComment && t.kind != TokKind::kPreproc) {
+      if (t.kind != TokKind::kComment && t.kind != TokKind::kPreproc &&
+          t.kind != TokKind::kAttribute) {
         code_.push_back(&t);
       }
     }
@@ -372,24 +390,18 @@ FileLintResult LintSource(const std::string& path, std::string_view source,
   FileLintResult result;
   LexResult lexed = Lex(source);
 
-  std::vector<Suppression> suppressions;
+  std::vector<AllowSite> suppressions;
   for (const Token& t : lexed.tokens) {
     if (t.kind == TokKind::kComment) {
-      ParseSuppressions(t, path, &suppressions, &result.findings);
+      ParseAllowAnnotations(t, path, &suppressions, &result.findings);
     }
   }
 
   Scanner scanner(path, lexed.tokens, severities);
   for (Finding& f : scanner.Run()) {
-    for (const Suppression& s : suppressions) {
-      if (s.rule == f.rule && (f.line == s.line || f.line == s.line + 1)) {
-        f.suppressed = true;
-        f.suppress_reason = s.reason;
-        break;
-      }
-    }
     result.findings.push_back(std::move(f));
   }
+  ApplyAllows(suppressions, &result.findings);
 
   std::stable_sort(result.findings.begin(), result.findings.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "src/tools/lint/lexer.h"
 #include "src/tools/lint/policy.h"
 
 namespace wcores::lint {
@@ -67,6 +68,27 @@ struct FileLintResult {
   int warnings = 0;               // Unsuppressed warn-severity findings.
   int suppressed = 0;
 };
+
+// One parsed `allow(RULE reason)` clause. Covers findings on its own line
+// (trailing style) and on the next line (leading style) — the semantics both
+// wc-lint and wc-analyze apply.
+struct AllowSite {
+  int line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+// Scans one comment token for the wc-lint annotation marker and its allow
+// clauses. Well-formed clauses land in `out`; malformed ones (no rule, no
+// reason, unclosed paren) become error-severity SUPPRESS findings when
+// `findings` is non-null. Shared by the token-level linter and wc-analyze so
+// the two tools agree on the suppression grammar.
+void ParseAllowAnnotations(const Token& comment, const std::string& path,
+                           std::vector<AllowSite>* out, std::vector<Finding>* findings);
+
+// Marks findings covered by an allow of the same rule on the same line or
+// the line above as suppressed, copying the reason.
+void ApplyAllows(const std::vector<AllowSite>& allows, std::vector<Finding>* findings);
 
 // Lints one in-memory source. `severities` maps rule id -> severity for this
 // file (see policy.h); rules absent from the map default to off.

@@ -1,0 +1,135 @@
+#include "src/tools/lint/symtab.h"
+
+#include <set>
+
+namespace wcores::lint {
+
+void SymbolTable::AddUnit(TranslationUnit unit) {
+  units_.push_back(std::move(unit));
+}
+
+void SymbolTable::Finalize() {
+  finalized_ = true;
+  classes_.clear();
+  for (const TranslationUnit& tu : units_) {
+    for (const ClassInfo& c : tu.classes) {
+      // First definition wins; headers are parsed before their .cc in the
+      // driver, so the declaration-bearing definition is the one kept.
+      classes_.emplace(c.name, &c);
+    }
+  }
+  // Resolve out-of-line owners, then index. The owning class of
+  // `Outer::Inner::Fn` is the LAST chain element naming a known class
+  // (namespaces prefix the chain, nested classes resolve to the innermost).
+  fns_.clear();
+  int id = 0;
+  for (TranslationUnit& tu : units_) {
+    for (FunctionDef& f : tu.functions) {
+      if (f.cls.empty()) {
+        for (auto it = f.qualifier_chain.rbegin(); it != f.qualifier_chain.rend(); ++it) {
+          if (classes_.count(*it) != 0) {
+            f.cls = *it;
+            break;
+          }
+        }
+      }
+      fns_.push_back(FnRef{&f, &tu, id++});
+    }
+  }
+  methods_by_name_.clear();
+  free_by_name_.clear();
+  for (const FnRef& r : fns_) {
+    if (r.def->cls.empty()) {
+      free_by_name_[r.def->name].push_back(r.id);
+    } else {
+      methods_by_name_[r.def->name].push_back(r.id);
+    }
+  }
+}
+
+const ClassInfo* SymbolTable::FindClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second;
+}
+
+bool SymbolTable::DerivesFrom(const std::string& cls, const std::string& base) const {
+  if (cls == base) {
+    return true;
+  }
+  std::set<std::string> seen;
+  std::vector<std::string> work{cls};
+  while (!work.empty()) {
+    std::string cur = work.back();
+    work.pop_back();
+    if (!seen.insert(cur).second) {
+      continue;
+    }
+    const ClassInfo* ci = FindClass(cur);
+    if (ci == nullptr) {
+      continue;
+    }
+    for (const std::string& b : ci->bases) {
+      if (b == base) {
+        return true;
+      }
+      work.push_back(b);
+    }
+  }
+  return false;
+}
+
+const MemberInfo* SymbolTable::FindMember(const std::string& cls, const std::string& member,
+                                          std::string* found_in) const {
+  std::set<std::string> seen;
+  std::vector<std::string> work{cls};
+  while (!work.empty()) {
+    std::string cur = work.back();
+    work.pop_back();
+    if (!seen.insert(cur).second) {
+      continue;
+    }
+    const ClassInfo* ci = FindClass(cur);
+    if (ci == nullptr) {
+      continue;
+    }
+    auto it = ci->members.find(member);
+    if (it != ci->members.end()) {
+      if (found_in != nullptr) {
+        *found_in = cur;
+      }
+      return &it->second;
+    }
+    for (const std::string& b : ci->bases) {
+      work.push_back(b);
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const FnRef*> SymbolTable::MethodsNamed(const std::string& name) const {
+  std::vector<const FnRef*> out;
+  auto it = methods_by_name_.find(name);
+  if (it != methods_by_name_.end()) {
+    for (int id : it->second) {
+      out.push_back(&fns_[id]);
+    }
+  }
+  return out;
+}
+
+std::vector<const FnRef*> SymbolTable::FreeFunctionsNamed(const std::string& name) const {
+  std::vector<const FnRef*> out;
+  auto it = free_by_name_.find(name);
+  if (it != free_by_name_.end()) {
+    for (int id : it->second) {
+      out.push_back(&fns_[id]);
+    }
+  }
+  return out;
+}
+
+std::string SymbolTable::IdOf(const FunctionDef& def) {
+  return def.cls.empty() ? def.name : def.cls + "::" + def.name;
+}
+
+}  // namespace wcores::lint

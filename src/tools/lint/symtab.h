@@ -1,0 +1,68 @@
+// Cross-TU symbol table for wc-analyze.
+//
+// Merges every parsed TranslationUnit into one view: classes by name,
+// function definitions indexed for call resolution, and the inheritance
+// relation needed by the access-confinement rule (A3). Names are
+// unqualified — the tree under analysis has no same-name class collisions,
+// and collapsing namespaces keeps resolution trivially fast.
+#ifndef SRC_TOOLS_LINT_SYMTAB_H_
+#define SRC_TOOLS_LINT_SYMTAB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tools/lint/ast.h"
+
+namespace wcores::lint {
+
+// A function definition plus where it came from. `id` is stable across the
+// table's lifetime and indexes CallGraph nodes.
+struct FnRef {
+  const FunctionDef* def = nullptr;
+  const TranslationUnit* tu = nullptr;
+  int id = 0;
+};
+
+class SymbolTable {
+ public:
+  // Takes ownership of the unit. No more adds after Finalize().
+  void AddUnit(TranslationUnit unit);
+
+  // Resolves out-of-line definitions to their owning class (the last
+  // qualifier naming a known class wins) and builds the name indexes.
+  void Finalize();
+
+  const std::vector<TranslationUnit>& units() const { return units_; }
+  const std::vector<FnRef>& functions() const { return fns_; }
+
+  const ClassInfo* FindClass(const std::string& name) const;
+
+  // True when `cls` is `base` or transitively derives from it (reflexive).
+  bool DerivesFrom(const std::string& cls, const std::string& base) const;
+
+  // Looks `member` up in `cls` and its bases; on success optionally reports
+  // which class declared it. Returns nullptr when unknown.
+  const MemberInfo* FindMember(const std::string& cls, const std::string& member,
+                               std::string* found_in = nullptr) const;
+
+  // All method definitions with this (unqualified) name, any class.
+  std::vector<const FnRef*> MethodsNamed(const std::string& name) const;
+  // All free-function definitions with this name.
+  std::vector<const FnRef*> FreeFunctionsNamed(const std::string& name) const;
+
+  // "Cls::Fn" or "Fn" — the id format AnalyzeConfig roots use.
+  static std::string IdOf(const FunctionDef& def);
+
+ private:
+  bool finalized_ = false;
+  std::vector<TranslationUnit> units_;
+  std::vector<FnRef> fns_;
+  std::map<std::string, const ClassInfo*> classes_;
+  std::map<std::string, std::vector<int>> methods_by_name_;
+  std::map<std::string, std::vector<int>> free_by_name_;
+};
+
+}  // namespace wcores::lint
+
+#endif  // SRC_TOOLS_LINT_SYMTAB_H_

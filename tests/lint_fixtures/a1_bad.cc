@@ -1,0 +1,21 @@
+// A1 bad: nondeterminism reaches the trace fold interprocedurally. The
+// pointer-as-integer cast is invisible to token-level D3; only reachability
+// connects Probe::Observe to Fold::Mix (the hash fold), and the env read
+// hides one call away in a helper the trace-affecting code invokes.
+#include <cstdint>
+#include <cstdlib>
+
+struct Fold {
+  void Mix(uint64_t v) { state = (state ^ v) * 1099511628211ull; }
+  uint64_t state = 14695981039346656037ull;
+};
+
+inline uint64_t TraceSalt() { return std::getenv("WC_SALT") != nullptr ? 1 : 0; }
+
+struct Probe {
+  void Observe(void* obj) {
+    fold.Mix(reinterpret_cast<uint64_t>(obj));
+    fold.Mix(TraceSalt());
+  }
+  Fold fold;
+};

@@ -1,0 +1,18 @@
+// A1 good: the fold consumes stable ids only, and the env read lives in
+// setup code with no call path to (or from) anything trace-affecting —
+// interprocedural analysis keeps it legal where a token rule would have to
+// either miss the bad case or flag this one.
+#include <cstdint>
+#include <cstdlib>
+
+struct Fold {
+  void Mix(uint64_t v) { state = (state ^ v) * 1099511628211ull; }
+  uint64_t state = 14695981039346656037ull;
+};
+
+struct Probe {
+  void Observe(uint64_t stable_id) { fold.Mix(stable_id); }
+  Fold fold;
+};
+
+inline bool WantColorOutput() { return std::getenv("WC_COLOR") != nullptr; }

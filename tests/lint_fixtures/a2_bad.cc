@@ -1,0 +1,14 @@
+// A2 bad: allocation and container growth one call below a dispatch root.
+// The hot set is seeded by name (Simulator::OnTick is an event handler), so
+// the growth in the callee is flagged with its witness chain.
+#include <vector>
+
+struct Simulator {
+  void OnTick() { Account(1); }
+  void Account(int ev) {
+    log.push_back(ev);
+    scratch = new int[16];
+  }
+  std::vector<int> log;
+  int* scratch = nullptr;
+};

@@ -1,0 +1,31 @@
+// A3 bad: a policy reaches mechanism internals directly — via a private
+// method call and a private field write. The friend declaration is exactly
+// the backdoor the rule refuses to honor: befriending a policy does not
+// make the access architectural.
+class SchedPolicy {
+ public:
+  virtual int SelectWakeCpu(int prev) = 0;
+  virtual ~SchedPolicy() = default;
+};
+
+class Scheduler {
+ public:
+  int CfsSelectWakeCpu(int prev) { return prev; }
+
+ private:
+  friend class GreedyPolicy;
+  int IdleBalance(int cpu) { return cpu; }
+  int nr_migrations_ = 0;
+};
+
+class GreedyPolicy : public SchedPolicy {
+ public:
+  int SelectWakeCpu(int prev) override {
+    int stolen = sched_->IdleBalance(prev);
+    sched_->nr_migrations_ += 1;
+    return stolen;
+  }
+
+ private:
+  Scheduler* sched_ = nullptr;
+};

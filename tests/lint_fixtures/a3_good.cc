@@ -1,0 +1,30 @@
+// A3 good: the policy consumes only the public mechanism surface, so the
+// same shapes (member call, comparison against mechanism state) are legal.
+class SchedPolicy {
+ public:
+  virtual int SelectWakeCpu(int prev) = 0;
+  virtual ~SchedPolicy() = default;
+};
+
+class Scheduler {
+ public:
+  int CfsSelectWakeCpu(int prev) { return prev; }
+  int NrRunning(int cpu) const { return cpu == 0 ? 1 : 0; }
+
+ private:
+  int IdleBalance(int cpu) { return cpu; }
+  int nr_migrations_ = 0;
+};
+
+class PolitePolicy : public SchedPolicy {
+ public:
+  int SelectWakeCpu(int prev) override {
+    if (sched_->NrRunning(prev) == 0) {
+      return prev;
+    }
+    return sched_->CfsSelectWakeCpu(prev);
+  }
+
+ private:
+  Scheduler* sched_ = nullptr;
+};

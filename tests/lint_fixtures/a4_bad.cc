@@ -1,0 +1,35 @@
+// A4 bad: balance-reachable code re-reads per-entity decayed load, and a
+// pick mutates the rq tree without re-keying the load memo — the exact bug
+// class a non-leftmost PickSpecific without a load_version bump reintroduces.
+struct SchedEntity {
+  double ValueAt(long now) const { return static_cast<double>(now) * 0.5; }
+};
+
+struct RbTree {
+  void Insert(SchedEntity* se) { root = se; }
+  void Erase(SchedEntity* se) { root = (se == root) ? nullptr : root; }
+  SchedEntity* root = nullptr;
+};
+
+class CfsRunqueue {
+ public:
+  SchedEntity* PickSpecific(SchedEntity* se) {
+    tree_.Erase(se);
+    return se;
+  }
+
+ private:
+  void BumpLoadVersion() { load_version_ += 1; }
+  RbTree tree_;
+  unsigned long load_version_ = 0;
+};
+
+class Scheduler {
+ public:
+  SchedEntity* PickNext(long now) { return rq_.PickSpecific(&hint_); }
+  double BalanceDomain(long now) { return hint_.ValueAt(now); }
+
+ private:
+  CfsRunqueue rq_;
+  SchedEntity hint_;
+};

@@ -1,0 +1,37 @@
+// A4 good: the pick bumps the load version in the same body (fold order is
+// re-keyed), and balancing serves load from its cached aggregate instead of
+// re-decaying entities.
+struct SchedEntity {
+  int weight = 0;
+};
+
+struct RbTree {
+  void Insert(SchedEntity* se) { root = se; }
+  void Erase(SchedEntity* se) { root = (se == root) ? nullptr : root; }
+  SchedEntity* root = nullptr;
+};
+
+class CfsRunqueue {
+ public:
+  SchedEntity* PickSpecific(SchedEntity* se) {
+    BumpLoadVersion();
+    tree_.Erase(se);
+    return se;
+  }
+
+ private:
+  void BumpLoadVersion() { load_version_ += 1; }
+  RbTree tree_;
+  unsigned long load_version_ = 0;
+};
+
+class Scheduler {
+ public:
+  SchedEntity* PickNext(long now) { return rq_.PickSpecific(&hint_); }
+  double BalanceDomain(long now) { return cached_load_; }
+
+ private:
+  CfsRunqueue rq_;
+  SchedEntity hint_;
+  double cached_load_ = 0.0;
+};

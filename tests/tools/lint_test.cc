@@ -36,7 +36,8 @@ std::string ReadFileOrDie(const fs::path& p) {
 std::vector<Token> CodeTokens(std::string_view src) {
   std::vector<Token> out;
   for (Token& t : Lex(src).tokens) {
-    if (t.kind != TokKind::kComment && t.kind != TokKind::kPreproc) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kPreproc &&
+        t.kind != TokKind::kAttribute) {
       out.push_back(std::move(t));
     }
   }
@@ -79,6 +80,48 @@ TEST(LintLexer, NumberClassification) {
     EXPECT_EQ(toks[i].kind, TokKind::kNumber) << i;
     EXPECT_EQ(toks[i].is_float, floats[i]) << toks[i].text;
   }
+}
+
+TEST(LintLexer, AttributesAreOneOpaqueToken) {
+  auto lexed = Lex("[[nodiscard]] int F();\n[[deprecated(\"call rand() instead\")]] int G();");
+  int attributes = 0;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokKind::kAttribute) {
+      ++attributes;
+      // The whole [[...]] — string argument included — is one token, so the
+      // rand() inside the deprecation message can never trip a rule.
+      EXPECT_EQ(t.text.substr(0, 2), "[[");
+      EXPECT_EQ(t.text.substr(t.text.size() - 2), "]]");
+    }
+  }
+  EXPECT_EQ(attributes, 2);
+  // And rule scanning sees only the declarations.
+  auto toks = CodeTokens("[[nodiscard]] int F();");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "int");
+}
+
+TEST(LintLexer, PrefixedRawStringsSwallowContents) {
+  // u8R / LR / uR prefixes take the raw-string path, not the identifier one.
+  auto toks = CodeTokens("auto a = u8R\"(rand())\"; auto b = LR\"q( )\" )q\"; done");
+  int strings = 0;
+  for (const Token& t : toks) {
+    strings += t.kind == TokKind::kString;
+    EXPECT_NE(t.text, "rand");
+  }
+  EXPECT_EQ(strings, 2);
+  EXPECT_EQ(toks.back().text, "done");
+}
+
+TEST(LintLexer, DigitSeparatorsInAllBases) {
+  auto toks = CodeTokens("0xFF'00 0b1010'0101 1'000'000.25 07'77");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const Token& t : toks) {
+    EXPECT_EQ(t.kind, TokKind::kNumber) << t.text;
+  }
+  EXPECT_FALSE(toks[0].is_float);
+  EXPECT_FALSE(toks[1].is_float);
+  EXPECT_TRUE(toks[2].is_float);
 }
 
 TEST(LintLexer, UnterminatedLiteralIsReportedNotFatal) {
@@ -245,7 +288,7 @@ TEST(LintGolden, FixtureCorpus) {
     }
   }
   std::sort(fixtures.begin(), fixtures.end());
-  ASSERT_GE(fixtures.size(), 12u) << "fixture corpus shrank";
+  ASSERT_GE(fixtures.size(), 20u) << "fixture corpus shrank";
 
   std::string actual;
   for (const fs::path& f : fixtures) {
