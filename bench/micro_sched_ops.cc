@@ -187,9 +187,11 @@ void BM_LongestIdleCpu(benchmark::State& state) {
 BENCHMARK(BM_LongestIdleCpu)->Args({8, 10})->Args({8, 90})->Args({64, 10})->Args({64, 90});
 
 // One full periodic-balance pass over all domains of one core on a machine
-// with 10 runnable threads per core.
+// with 10 runnable threads per core, at 8 cores (one-node scale: two flat
+// nodes) and 64 cores (the paper's 8x8 Bulldozer).
 void BM_PeriodicBalancePass(benchmark::State& state) {
-  Topology topo = Topology::Bulldozer8x8();
+  const int n_cores = static_cast<int>(state.range(0));
+  Topology topo = n_cores == 8 ? Topology::Flat(2, 4) : Topology::Bulldozer8x8();
   NullClient client;
   Scheduler sched(topo, SchedFeatures::Stock(), SchedTunables::ForCpus(topo.n_cores()), &client);
   Time now = 0;
@@ -206,9 +208,38 @@ void BM_PeriodicBalancePass(benchmark::State& state) {
     sched.Tick(now, 0);
     now += Milliseconds(200);  // Always past every balance interval.
   }
-  state.SetLabel("64 cores, 640 threads");
+  state.SetLabel(std::to_string(topo.n_cores()) + " cores, " +
+                 std::to_string(topo.n_cores() * 10) + " threads");
 }
-BENCHMARK(BM_PeriodicBalancePass);
+BENCHMARK(BM_PeriodicBalancePass)->Arg(8)->Arg(64);
+
+// The common tick: every domain interval skips. Pre-wheel this walked all
+// domains of the ticking core to increment balance_interval_skips; with the
+// balance-due wheel it is one timestamp compare. Intervals are stretched so
+// no balance ever comes due inside the measurement — this isolates exactly
+// the all-skips path that dominates ticks on a busy machine.
+void BM_TickAllSkips(benchmark::State& state) {
+  Topology topo = Topology::Bulldozer8x8();
+  NullClient client;
+  SchedTunables tunables = SchedTunables::ForCpus(topo.n_cores());
+  tunables.base_balance_interval = Seconds(100);  // Never due during the run.
+  Scheduler sched(topo, SchedFeatures::Stock(), tunables, &client);
+  Time now = 0;
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    ThreadParams params;  // One thread: busy tick, no NOHZ-kick scan.
+    params.parent_cpu = c;
+    params.affinity = CpuSet::Single(c);
+    sched.CreateThread(now, params);
+    sched.PickNext(now, c);
+  }
+  now = Milliseconds(10);
+  for (auto _ : state) {
+    sched.Tick(now, 0);
+    now += Microseconds(1);
+  }
+  state.SetLabel("64 cores, all domain intervals skip");
+}
+BENCHMARK(BM_TickAllSkips);
 
 // Periodic balancing with per-instant churn: every iteration reweights one
 // queued thread on cpu 1, so node 0's member-version sum changes between

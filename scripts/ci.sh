@@ -21,8 +21,10 @@
 #   4. bench   - smoke-run the Release bench binaries with a tiny budget
 #                (one benchmark repetition, a scaled-down sweep) into out/,
 #                so the perf harness itself cannot bit-rot between perf PRs.
-#                Numbers from this stage are meaningless; only exit status
-#                and JSON emission matter.
+#                Also smoke-runs scripts/ab_bench.sh, the interleaved
+#                paired-ratio A/B harness, in its no-worktree self-vs-self
+#                mode. Numbers from this stage are meaningless; only exit
+#                status and JSON emission matter.
 #   5. stream  - the streaming-telemetry soak: one >=10M-event random mix in
 #                a single pass with the bounded-memory pipeline attached.
 #                The binary's own WC_CHECKs enforce the contract (every
@@ -105,6 +107,10 @@ test -s "$SMOKE_OUT/BENCH_sweep.json"
 # an explicit null (1-core host / --threads=1, as in this smoke run) — never
 # silently absent, which downstream readers treat as a divide-by-missing-row.
 grep -Eq '"scaling": (null|[0-9.]+)' "$SMOKE_OUT/BENCH_sweep.json"
+echo "==== [bench] ab_bench.sh harness smoke (self-vs-self, one pair) ===="
+scripts/ab_bench.sh --smoke
+test -s out/BENCH_ab.json
+grep -q '"median_ratio"' out/BENCH_ab.json
 
 echo "==== [stream] big-mix soak (>=10M events, bounded memory) ===="
 ./build-release/bench/sweep_driver --out="$SMOKE_OUT" --seed=4242 --big-mix=10000000

@@ -44,6 +44,7 @@ void CfsRunqueue::Enqueue(SchedEntity* se, Time now, EnqueueKind kind) {
   tree_.Insert(se);
   total_weight_ += se->weight;
   BumpLoadVersion();
+  SyncNr();
   UpdateMinVruntime();
   if (observer_ != nullptr) {
     observer_->OnRqEnqueue(now, cpu_, se, kind);
@@ -56,6 +57,7 @@ void CfsRunqueue::DequeueQueued(SchedEntity* se, Time now) {
   tree_.Erase(se);
   total_weight_ -= se->weight;
   BumpLoadVersion();
+  SyncNr();
   se->on_rq = false;
   se->last_dequeued = now;
   UpdateMinVruntime();
@@ -139,6 +141,7 @@ void CfsRunqueue::PutCurr(Time now, PutKind kind) {
     prev->on_rq = false;
     prev->last_dequeued = now;
     BumpLoadVersion();
+    SyncNr();
     UpdateMinVruntime();
   }
 }

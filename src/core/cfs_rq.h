@@ -168,8 +168,35 @@ class CfsRunqueue {
   // policy, so the hot path pays one predictable branch per event.
   void set_observer(RqObserver* observer) { observer_ = observer; }
 
+  // Write-through stat slots for an owner keeping structure-of-arrays
+  // mirrors (the scheduler's balance folds stream over dense per-cpu arrays
+  // instead of pointer-chasing runqueues). After this call, every mutation
+  // of nr_running() writes `nr_slot` (adjusting `overloaded_counter` on
+  // 1<->2 crossings) and every BumpLoadVersion writes `version_slot`, in
+  // the same statement as the source of truth — the mirrors are exact by
+  // construction, not eventually consistent. All three must outlive the
+  // runqueue. Call before any entity is enqueued.
+  void set_stat_slots(int* nr_slot, uint64_t* version_slot, int* overloaded_counter) {
+    nr_slot_ = nr_slot;
+    version_slot_ = version_slot;
+    overloaded_counter_ = overloaded_counter;
+    *nr_slot_ = nr_running();
+    *version_slot_ = load_version_;
+  }
+
  private:
   void UpdateMinVruntime();
+
+  // Syncs the nr_running mirror after any change to tree size or curr.
+  // Cheap enough to call unconditionally from every mutator; the overload
+  // counter moves only when the queue crosses the >= 2 threshold.
+  void SyncNr() {
+    const int nr = nr_running();
+    if ((nr >= 2) != (*nr_slot_ >= 2)) {
+      *overloaded_counter_ += (nr >= 2) ? 1 : -1;
+    }
+    *nr_slot_ = nr;
+  }
 
   CpuId cpu_;
   const SchedTunables* tunables_;
@@ -180,9 +207,19 @@ class CfsRunqueue {
   uint64_t load_version_ = 0;
   uint64_t* shared_load_epoch_ = nullptr;
   RqObserver* observer_ = nullptr;
+  // Write-through mirror slots (set_stat_slots). The scheduler installs
+  // them at construction, before any entity exists; standalone runqueues
+  // (unit tests) point them at the dummies so mutators stay branch-free.
+  int nr_dummy_ = 0;
+  uint64_t version_dummy_ = 0;
+  int overloaded_dummy_ = 0;
+  int* nr_slot_ = &nr_dummy_;
+  uint64_t* version_slot_ = &version_dummy_;
+  int* overloaded_counter_ = &overloaded_dummy_;
 
   void BumpLoadVersion() {
     load_version_ += 1;
+    *version_slot_ = load_version_;
     if (shared_load_epoch_ != nullptr) {
       *shared_load_epoch_ += 1;
     }

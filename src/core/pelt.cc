@@ -1,24 +1,6 @@
 #include "src/core/pelt.h"
 
-#include <cmath>
-
-namespace wcores {
-
-double LoadTracker::Decay(Time elapsed) {
-  // 2^(-elapsed / half-life). Beyond the saturation horizon the contribution
-  // is below 1e-6; short-circuit to keep exp2 out of the common idle path.
-  // The saturated 0.0 is also what makes ConstantFrom's case 3 exact.
-  if (elapsed > kSaturationHorizon) {
-    return 0.0;
-  }
-  return std::exp2(-static_cast<double>(elapsed) / static_cast<double>(kHalfLife));
-}
-
-double LoadTracker::DecayPeriods(Time period, int periods) {
-  if (periods <= 0) {
-    return 1.0;
-  }
-  return Decay(period * static_cast<Time>(periods));
-}
-
-}  // namespace wcores
+// Decay and DecayPeriods live inline in the header: ValueAt runs once per
+// entity per balance fold, and the saturation short-circuit is worth having
+// at the call site. This TU stays in the build as the class's definition
+// home should out-of-line members return.

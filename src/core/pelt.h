@@ -29,6 +29,8 @@
 #ifndef SRC_CORE_PELT_H_
 #define SRC_CORE_PELT_H_
 
+#include <cmath>
+
 #include "src/simkit/time.h"
 
 namespace wcores {
@@ -69,6 +71,15 @@ class LoadTracker {
     if (now <= last_update_) {
       return avg_;
     }
+    // Saturated trackers are fixed points of the decay blend — the
+    // ConstantFrom() cases 1 and 2 below prove fl(avg*k + state*(1-k))
+    // lands back on avg_ exactly, for every k in [0, 1]. Returning avg_
+    // directly is therefore bit-identical, and spares the balance folds a
+    // libm exp2 for every fully-ramped hog and fully-decayed sleeper.
+    // wc-lint: allow(D4 exact-saturation probe; fixed points of ValueAt, see ConstantFrom proof)
+    if (runnable_ ? avg_ == 1.0 : avg_ == 0.0) {
+      return avg_;
+    }
     double k = Decay(now - last_update_);
     return avg_ * k + (runnable_ ? 1.0 : 0.0) * (1.0 - k);
   }
@@ -107,7 +118,10 @@ class LoadTracker {
 
   // Decay factor 2^(-elapsed / half-life), saturating to 0.0 beyond
   // kSaturationHorizon. Public so the decay-forward golden tests and the
-  // fuzzer's property checks can pin its exact values.
+  // fuzzer's property checks can pin its exact values. Inline so ValueAt —
+  // called once per entity per balance fold — keeps the saturation test and
+  // the division at the call site; the exp2 itself stays a libm call, so
+  // the produced doubles are the same whether or not inlining happens.
   static double Decay(Time elapsed);
 
   // Closed-form multi-period decay: the factor covering `periods`
@@ -127,6 +141,23 @@ class LoadTracker {
   Time last_update_ = 0;
   bool runnable_ = false;
 };
+
+inline double LoadTracker::Decay(Time elapsed) {
+  // 2^(-elapsed / half-life). Beyond the saturation horizon the contribution
+  // is below 1e-6; short-circuit to keep exp2 out of the common idle path.
+  // The saturated 0.0 is also what makes ConstantFrom's case 3 exact.
+  if (elapsed > kSaturationHorizon) {
+    return 0.0;
+  }
+  return std::exp2(-static_cast<double>(elapsed) / static_cast<double>(kHalfLife));
+}
+
+inline double LoadTracker::DecayPeriods(Time period, int periods) {
+  if (periods <= 0) {
+    return 1.0;
+  }
+  return Decay(period * static_cast<Time>(periods));
+}
 
 }  // namespace wcores
 

@@ -235,38 +235,6 @@ void RbTreeBase::EraseFixup(RbNode* x, RbNode* x_parent) {
   }
 }
 
-RbNode* RbTreeBase::Next(RbNode* node) {
-  if (node->right != nullptr) {
-    node = node->right;
-    while (node->left != nullptr) {
-      node = node->left;
-    }
-    return node;
-  }
-  RbNode* parent = node->parent;
-  while (parent != nullptr && node == parent->right) {
-    node = parent;
-    parent = parent->parent;
-  }
-  return parent;
-}
-
-RbNode* RbTreeBase::Prev(RbNode* node) {
-  if (node->left != nullptr) {
-    node = node->left;
-    while (node->right != nullptr) {
-      node = node->right;
-    }
-    return node;
-  }
-  RbNode* parent = node->parent;
-  while (parent != nullptr && node == parent->left) {
-    node = parent;
-    parent = parent->parent;
-  }
-  return parent;
-}
-
 int RbTreeBase::ValidateSubtree(const RbNode* node, bool parent_red) {
   if (node == nullptr) {
     return 0;  // Nil leaves are black; black height 0 by convention.

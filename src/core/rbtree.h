@@ -60,11 +60,40 @@ class RbTreeBase {
   RbNode* root() const { return root_; }
   RbNode** mutable_root() { return &root_; }
 
-  // In-order successor, or nullptr.
-  static RbNode* Next(RbNode* node);
+  // In-order successor, or nullptr. Inline: ForEach drives every balance
+  // fold's entity walk through it, one call per queued entity.
+  static RbNode* Next(RbNode* node) {
+    if (node->right != nullptr) {
+      node = node->right;
+      while (node->left != nullptr) {
+        node = node->left;
+      }
+      return node;
+    }
+    RbNode* parent = node->parent;
+    while (parent != nullptr && node == parent->right) {
+      node = parent;
+      parent = parent->parent;
+    }
+    return parent;
+  }
 
   // In-order predecessor, or nullptr.
-  static RbNode* Prev(RbNode* node);
+  static RbNode* Prev(RbNode* node) {
+    if (node->left != nullptr) {
+      node = node->left;
+      while (node->right != nullptr) {
+        node = node->right;
+      }
+      return node;
+    }
+    RbNode* parent = node->parent;
+    while (parent != nullptr && node == parent->left) {
+      node = parent;
+      parent = parent->parent;
+    }
+    return parent;
+  }
 
   // Validates red-black invariants; returns black height, or -1 on violation.
   // Test-support only; O(n).

@@ -2,6 +2,7 @@
 
 #include "src/simkit/check.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/core/sched_policy.h"
@@ -29,8 +30,27 @@ Scheduler::Scheduler(const Topology& topo, const SchedFeatures& features,
     owned_policy_ = std::make_unique<CfsPolicy>();
     policy_ = owned_policy_.get();
   }
+  // Size every structure-of-arrays member up front (never reallocated after
+  // this: the runqueues hold raw pointers into nr_running_/load_version_).
+  const size_t n = static_cast<size_t>(topo.n_cores());
+  nr_running_.assign(n, 0);
+  load_version_.assign(n, 0);
+  tickless_.assign(n, 0);
+  imbalanced_.assign(n, 0);
+  idle_since_.assign(n, 0);
+  idle_prev_.assign(n, kInvalidCpu);
+  idle_next_.assign(n, kInvalidCpu);
+  load_cache_now_.assign(n, kTimeNever);
+  load_cache_version_.assign(n, 0);
+  load_cache_epoch_.assign(n, 0);
+  load_cache_feat_.assign(n, 0);
+  load_cache_const_.assign(n, 0);
+  load_cache_value_.assign(n, 0.0);
+  wheel_.assign(n, BalanceWheel{});
+  node_idle_gen_.assign(static_cast<size_t>(topo.n_nodes()), 0);
   for (CpuId c = 0; c < topo.n_cores(); ++c) {
     cpus_.emplace_back(c, &tunables_, &balance_epoch_);
+    cpus_[c].rq.set_stat_slots(&nr_running_[c], &load_version_[c], &overloaded_cpus_);
     online_.Set(c);
   }
   autogroups_.push_back(Autogroup{kRootAutogroup, 0});
@@ -47,9 +67,13 @@ Scheduler::Scheduler(const Topology& topo, const SchedFeatures& features,
   idle_tail_.assign(static_cast<size_t>(topo.n_nodes()), kInvalidCpu);
   for (CpuId c = 0; c < topo.n_cores(); ++c) {
     cpus_[c].domains = std::move(trees[c]);
-    cpus_[c].tickless = true;
+    RecomputeWheelDues(c);  // Before the idle inserts: they sum wheel ndoms.
+  }
+  for (CpuId c = 0; c < topo.n_cores(); ++c) {
+    tickless_[c] = 1;
     IdleIndexInsert(c);  // All cpus boot idle since t=0.
   }
+  RecomputeNohzGlobals();
 
   policy_->Attach(this);
   if (policy_->WantsQueueEvents()) {
@@ -74,38 +98,19 @@ double Scheduler::AutogroupDivisor(AutogroupId id) const {
   return autogroups_[id].divisor();
 }
 
-double Scheduler::RqLoad(Time now, CpuId cpu) const {
-  // Memoized exactly, so the cached value is bit-identical to a recompute:
-  // the key covers everything LoadAt reads. Membership and weight changes
-  // bump rq.load_version(); divisor changes bump ag_epoch_ or feature_gen_;
-  // and a member tracker's SetState/Advance at the same instant leaves
-  // ValueAt(now) unchanged (decay only accrues across instants), so same
-  // (now, version, epochs) implies the same sum.
-  //
-  // Cross-instant: when load_cache_const is set, every member tracker was
-  // constant from load_cache_now on (LoadTracker::ConstantFrom), so under an
-  // unchanged version the sum at any later instant is the same doubles
-  // folded in the same order — serve the cached value. The one tracker
-  // mutation without a version bump, Tick's Advance on curr, cannot break
-  // this: Advance of a constant tracker lands on avg == 1.0 and preserves
-  // constancy, and a non-constant curr at fill time made load_cache_const
-  // false to begin with.
-  const Cpu& c = cpus_[cpu];
-  if (c.load_cache_version == c.rq.load_version() && c.load_cache_epoch == ag_epoch_ &&
-      c.load_cache_feat == feature_gen_ &&
-      (c.load_cache_now == now || (c.load_cache_const && now > c.load_cache_now))) {
-    return c.load_cache_value;
-  }
+double Scheduler::RqLoadFill(Time now, CpuId cpu) const {
+  // The miss path of the inline memo in scheduler.h: recompute the fold and
+  // snapshot every input the memo keys on.
   bool all_const = false;
   // wc-lint: allow(A4 the memo's own fill path; every other balance read hits the cache above)
   double load = cpus_[cpu].rq.LoadAt(
       now, [this](AutogroupId id) { return AutogroupDivisor(id); }, &all_const);
-  c.load_cache_now = now;
-  c.load_cache_version = c.rq.load_version();
-  c.load_cache_epoch = ag_epoch_;
-  c.load_cache_feat = feature_gen_;
-  c.load_cache_const = all_const;
-  c.load_cache_value = load;
+  load_cache_now_[cpu] = now;
+  load_cache_version_[cpu] = load_version_[cpu];
+  load_cache_epoch_[cpu] = ag_epoch_;
+  load_cache_feat_[cpu] = feature_gen_;
+  load_cache_const_[cpu] = all_const ? 1 : 0;
+  load_cache_value_[cpu] = load;
   return load;
 }
 
@@ -116,6 +121,14 @@ double Scheduler::RqLoadRecomputed(Time now, CpuId cpu) const {
 void Scheduler::UpdateFeatures(const SchedFeatures& features) {
   features_ = features;
   feature_gen_ += 1;
+  // No feature flag feeds the balance intervals or DesignatedCpu today
+  // (domain-construction flags take effect at the next rebuild), but drop
+  // the cached designation bits anyway: the wheel must never be the thing
+  // that couples a new feature to stale decisions. Dues are untouched —
+  // they are pure last_balance + interval arithmetic.
+  for (uint64_t& gen : node_idle_gen_) {
+    gen += 1;
+  }
 }
 
 void Scheduler::SetNice(Time now, ThreadId tid, int nice) {
@@ -152,7 +165,7 @@ CpuId Scheduler::CfsForkCpu(const SchedEntity& se, CpuId parent_cpu) const {
 
 void Scheduler::NotifyNrRunning(Time now, CpuId cpu) {
   Cpu& c = cpus_[cpu];
-  int nr = c.rq.nr_running();
+  int nr = nr_running_[cpu];
   if (nr != c.last_nr_reported) {
     c.last_nr_reported = nr;
     trace_->OnNrRunning(now, cpu, nr);
@@ -169,68 +182,77 @@ void Scheduler::NotifyLoad(Time now, CpuId cpu) {
 }
 
 void Scheduler::UpdateIdleState(Time now, CpuId cpu) {
-  Cpu& c = cpus_[cpu];
-  if (c.rq.Idle()) {
-    if (!c.tickless) {
-      c.idle_since = now;
-      c.tickless = true;
-      if (c.online) {
+  if (nr_running_[cpu] == 0) {
+    if (tickless_[cpu] == 0) {
+      idle_since_[cpu] = now;
+      tickless_[cpu] = 1;
+      // An idleness flip can change DesignatedCpu answers for this node;
+      // invalidate its cached designation bits (see BalanceWheel).
+      node_idle_gen_[topo_->NodeOf(cpu)] += 1;
+      if (online_.Test(cpu)) {
         IdleIndexInsert(cpu);
       }
       trace_->OnIdleEnter(now, cpu);
     }
   } else {
-    if (c.tickless) {
-      trace_->OnIdleExit(now, cpu, now - c.idle_since);
-      if (c.online) {
+    if (tickless_[cpu] != 0) {
+      trace_->OnIdleExit(now, cpu, now - idle_since_[cpu]);
+      node_idle_gen_[topo_->NodeOf(cpu)] += 1;
+      if (online_.Test(cpu)) {
         IdleIndexRemove(cpu);
       }
     }
-    c.tickless = false;
+    tickless_[cpu] = 0;
   }
 }
 
 void Scheduler::IdleIndexInsert(CpuId cpu) {
-  Cpu& c = cpus_[cpu];
   NodeId node = topo_->NodeOf(cpu);
   // A cpu going idle at the current instant carries the largest
   // (idle_since, cpu) key of its node except for same-instant ties, so the
   // backward walk from the tail almost always stops immediately.
   CpuId after = idle_tail_[node];
   while (after != kInvalidCpu &&
-         (cpus_[after].idle_since > c.idle_since ||
-          (cpus_[after].idle_since == c.idle_since && after > cpu))) {
-    after = cpus_[after].idle_prev;
+         (idle_since_[after] > idle_since_[cpu] ||
+          (idle_since_[after] == idle_since_[cpu] && after > cpu))) {
+    after = idle_prev_[after];
   }
-  c.idle_prev = after;
-  c.idle_next = after == kInvalidCpu ? idle_head_[node] : cpus_[after].idle_next;
-  if (c.idle_next != kInvalidCpu) {
-    cpus_[c.idle_next].idle_prev = cpu;
+  idle_prev_[cpu] = after;
+  idle_next_[cpu] = after == kInvalidCpu ? idle_head_[node] : idle_next_[after];
+  if (idle_next_[cpu] != kInvalidCpu) {
+    idle_prev_[idle_next_[cpu]] = cpu;
   } else {
     idle_tail_[node] = cpu;
   }
   if (after == kInvalidCpu) {
     idle_head_[node] = cpu;
   } else {
-    cpus_[after].idle_next = cpu;
+    idle_next_[after] = cpu;
   }
+  // NOHZ wheel: a new delegate joins. Its dues only move forward, so
+  // min-folding keeps nohz_all_due_ a sound lower bound (see scheduler.h).
+  idle_ndom_sum_ += wheel_[cpu].ndom;
+  nohz_all_due_ = std::min(nohz_all_due_, wheel_[cpu].all_idle);
 }
 
 void Scheduler::IdleIndexRemove(CpuId cpu) {
-  Cpu& c = cpus_[cpu];
   NodeId node = topo_->NodeOf(cpu);
-  if (c.idle_prev != kInvalidCpu) {
-    cpus_[c.idle_prev].idle_next = c.idle_next;
+  if (idle_prev_[cpu] != kInvalidCpu) {
+    idle_next_[idle_prev_[cpu]] = idle_next_[cpu];
   } else {
-    idle_head_[node] = c.idle_next;
+    idle_head_[node] = idle_next_[cpu];
   }
-  if (c.idle_next != kInvalidCpu) {
-    cpus_[c.idle_next].idle_prev = c.idle_prev;
+  if (idle_next_[cpu] != kInvalidCpu) {
+    idle_prev_[idle_next_[cpu]] = idle_prev_[cpu];
   } else {
-    idle_tail_[node] = c.idle_prev;
+    idle_tail_[node] = idle_prev_[cpu];
   }
-  c.idle_prev = kInvalidCpu;
-  c.idle_next = kInvalidCpu;
+  idle_prev_[cpu] = kInvalidCpu;
+  idle_next_[cpu] = kInvalidCpu;
+  // nohz_all_due_ is left stale-low on purpose: raising it exactly would
+  // cost a full index scan here. A too-low bound only costs a fast-path
+  // miss; the next NOHZ slow pass recomputes it exactly.
+  idle_ndom_sum_ -= wheel_[cpu].ndom;
 }
 
 CpuId Scheduler::LongestIdleCpu(const CpuSet& allowed) const {
@@ -241,11 +263,11 @@ CpuId Scheduler::LongestIdleCpu(const CpuSet& allowed) const {
   CpuId best = kInvalidCpu;
   Time best_since = kTimeNever;
   for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
-    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = cpus_[c].idle_next) {
+    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = idle_next_[c]) {
       if (!allowed.Test(c)) {
         continue;
       }
-      Time since = cpus_[c].idle_since;
+      Time since = idle_since_[c];
       if (since < best_since || (since == best_since && c < best)) {
         best_since = since;
         best = c;
@@ -260,17 +282,16 @@ bool Scheduler::ValidateIdleIndex() const {
   std::vector<bool> in_index(cpus_.size(), false);
   for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
     CpuId prev = kInvalidCpu;
-    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = cpus_[c].idle_next) {
-      const Cpu& entry = cpus_[c];
-      if (topo_->NodeOf(c) != n || entry.idle_prev != prev) {
+    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = idle_next_[c]) {
+      if (topo_->NodeOf(c) != n || idle_prev_[c] != prev) {
         return false;
       }
-      if (!entry.online || !entry.tickless || in_index[c]) {
+      if (!online_.Test(c) || tickless_[c] == 0 || in_index[c]) {
         return false;
       }
       if (prev != kInvalidCpu &&
-          (cpus_[prev].idle_since > entry.idle_since ||
-           (cpus_[prev].idle_since == entry.idle_since && prev > c))) {
+          (idle_since_[prev] > idle_since_[c] ||
+           (idle_since_[prev] == idle_since_[c] && prev > c))) {
         return false;
       }
       in_index[c] = true;
@@ -281,9 +302,88 @@ bool Scheduler::ValidateIdleIndex() const {
     }
   }
   for (CpuId c = 0; c < static_cast<CpuId>(cpus_.size()); ++c) {
-    if (in_index[c] != (cpus_[c].online && cpus_[c].tickless)) {
+    if (in_index[c] != (online_.Test(c) && tickless_[c] != 0)) {
       return false;
     }
+  }
+  return true;
+}
+
+bool Scheduler::ValidateBalanceWheel() const {
+  // Write-through mirrors and the overload counter.
+  int overloaded = 0;
+  for (CpuId c = 0; c < static_cast<CpuId>(cpus_.size()); ++c) {
+    if (nr_running_[c] != cpus_[c].rq.nr_running() ||
+        load_version_[c] != cpus_[c].rq.load_version()) {
+      return false;
+    }
+    if (nr_running_[c] >= 2) {
+      overloaded += 1;
+    }
+  }
+  if (overloaded != overloaded_cpus_) {
+    return false;
+  }
+  // Per-cpu due minima from scratch, and designation bits against the
+  // truth whenever their generation is current (stale generations are
+  // never consulted, so their bit contents are unconstrained — but the
+  // fire minima must still be the bit-derived subset minima, since
+  // RecomputeWheelDues rebuilds them from whatever bits it kept).
+  const Time factor = static_cast<Time>(tunables_.busy_balance_factor);
+  for (CpuId c = 0; c < static_cast<CpuId>(cpus_.size()); ++c) {
+    const BalanceWheel& w = wheel_[c];
+    const bool gen_current = w.desig_gen == node_idle_gen_[topo_->NodeOf(c)];
+    Time all_busy = kTimeNever;
+    Time all_idle = kTimeNever;
+    Time fire_busy = kTimeNever;
+    Time fire_idle = kTimeNever;
+    int i = 0;
+    for (const SchedDomain& sd : cpus_[c].domains.domains) {
+      const uint32_t bit = i < 32 ? (1u << i) : 0u;
+      Time due_idle = sd.last_balance + sd.balance_interval;
+      Time due_busy = sd.last_balance + sd.balance_interval * factor;
+      all_idle = std::min(all_idle, due_idle);
+      all_busy = std::min(all_busy, due_busy);
+      bool known = (w.desig_known & bit) != 0;
+      bool self = (w.desig_self & bit) != 0;
+      if (known && gen_current && self != (DesignatedCpu(c, sd) == c)) {
+        return false;  // A current-generation bit disagrees with the truth.
+      }
+      if (!known || self) {
+        fire_idle = std::min(fire_idle, due_idle);
+        fire_busy = std::min(fire_busy, due_busy);
+      }
+      ++i;
+    }
+    if (w.ndom != i || w.all_busy != all_busy || w.all_idle != all_idle) {
+      return false;
+    }
+    // fire minima may be *stale-high relative to cleared bits* never: they
+    // are recomputed whenever bits change. They must match the recorded
+    // bits exactly when those were folded in as valid, and must never be
+    // below the all-domain minimum.
+    if (w.fire_busy < w.all_busy || w.fire_idle < w.all_idle) {
+      return false;
+    }
+    if (gen_current && (w.fire_busy > fire_busy || w.fire_idle > fire_idle)) {
+      // Under a current generation the fast paths consult fire_*: they must
+      // not exceed the bit-derived minima, or a due+unknown/self domain
+      // could be skipped without a walk.
+      return false;
+    }
+  }
+  // NOHZ wheel: the sum is exact over index members; the due bound is a
+  // lower bound (stale-low is sound, stale-high is not).
+  int sum = 0;
+  Time true_min = kTimeNever;
+  for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
+    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = idle_next_[c]) {
+      sum += wheel_[c].ndom;
+      true_min = std::min(true_min, wheel_[c].all_idle);
+    }
+  }
+  if (sum != idle_ndom_sum_ || nohz_all_due_ > true_min) {
+    return false;
   }
   return true;
 }
@@ -411,7 +511,7 @@ void Scheduler::EnqueueWake(Time now, SchedEntity* se, CpuId cpu) {
 ThreadId Scheduler::PickNext(Time now, CpuId cpu) {
   Cpu& c = cpus_[cpu];
   c.need_resched = false;
-  if (!c.online) {
+  if (!online_.Test(cpu)) {
     return kInvalidThread;
   }
   SchedEntity* prev = c.rq.curr();
@@ -455,7 +555,7 @@ SchedEntity* Scheduler::PickEntityOn(Time now, CpuId cpu) {
 
 void Scheduler::Tick(Time now, CpuId cpu) {
   Cpu& c = cpus_[cpu];
-  if (!c.online) {
+  if (!online_.Test(cpu)) {
     return;
   }
   stats_.ticks += 1;
@@ -471,16 +571,33 @@ void Scheduler::Tick(Time now, CpuId cpu) {
 
   // NOHZ: an overloaded core wakes the first tickless idle core and assigns
   // it the NOHZ balancer role (§2.2.2).
-  if (c.rq.nr_running() >= 2 && now >= c.last_nohz_kick + tunables_.nohz_kick_interval) {
-    for (CpuId t : online_) {
-      if (cpus_[t].tickless && cpus_[t].rq.Idle()) {
-        c.last_nohz_kick = now;
-        stats_.nohz_kicks += 1;
-        client_->NohzKick(t);
-        break;
+  if (nr_running_[cpu] >= 2 && now >= c.last_nohz_kick + tunables_.nohz_kick_interval) {
+    CpuId t = NohzKickTarget();
+    if (t != kInvalidCpu) {
+      c.last_nohz_kick = now;
+      stats_.nohz_kicks += 1;
+      client_->NohzKick(t);
+    }
+  }
+}
+
+CpuId Scheduler::NohzKickTarget() const {
+  // The replaced linear scan took the first online cpu, in ascending id
+  // order, with tickless && Idle — i.e. the minimum id over {online &&
+  // tickless && idle}. The idle index holds exactly the online tickless
+  // cpus, so the same minimum falls out of walking its node lists (sorted
+  // by idle_since, hence no early exit within a node, but the lists are
+  // short exactly when this check runs: the kicking cpu is overloaded).
+  // The Idle() re-check mirrors the old scan's condition verbatim.
+  CpuId best = kInvalidCpu;
+  for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
+    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = idle_next_[c]) {
+      if (nr_running_[c] == 0 && (best == kInvalidCpu || c < best)) {
+        best = c;
       }
     }
   }
+  return best;
 }
 
 void Scheduler::RunNohzBalance(Time now, CpuId cpu) { policy_->NohzBalance(now, cpu); }
@@ -489,76 +606,215 @@ void Scheduler::CfsPeriodicBalance(Time now, CpuId cpu) {
   // Periodic load balancing: Algorithm 1, bottom-up over this core's
   // scheduling domains. This core is busy (it is taking a tick), so its
   // intervals are stretched by busy_balance_factor, as in the kernel.
-  Cpu& c = cpus_[cpu];
-  for (SchedDomain& sd : c.domains.domains) {
-    Time interval = sd.balance_interval * static_cast<Time>(tunables_.busy_balance_factor);
-    if (now < sd.last_balance + interval) {
-      stats_.balance_interval_skips += 1;
-      continue;
-    }
-    if (DesignatedCpu(cpu, sd) != cpu) {
-      stats_.balance_designation_skips += 1;
-      continue;
-    }
-    sd.last_balance = now;
-    BalanceDomain(now, cpu, sd, ConsideredKind::kPeriodicBalance);
+  //
+  // The common tick does O(1) work via the balance-due wheel: the walk it
+  // replaces is pure skip accounting unless some domain is both due and
+  // designated to this cpu, and the wheel's precomputed minima prove the
+  // negative without touching the domains (exactness argued at BalanceWheel
+  // and in EXPERIMENTS.md "Tick epoch-ization").
+  BalanceWheel& w = wheel_[cpu];
+  if (now < w.all_busy) {
+    // Every domain would interval-skip; account them in bulk.
+    stats_.balance_interval_skips += static_cast<uint64_t>(w.ndom);
+    return;
   }
+  if (w.desig_gen == node_idle_gen_[topo_->NodeOf(cpu)] && now < w.fire_busy) {
+    // Some domain is due, but its cached designation says another cpu
+    // balances it (now < fire_busy leaves no due domain unknown or ours).
+    // Classify with integer compares only — no DesignatedCpu calls.
+    for (SchedDomain& sd : cpus_[cpu].domains.domains) {
+      Time interval = sd.balance_interval * static_cast<Time>(tunables_.busy_balance_factor);
+      if (now < sd.last_balance + interval) {
+        stats_.balance_interval_skips += 1;
+      } else {
+        stats_.balance_designation_skips += 1;
+      }
+    }
+    return;
+  }
+  BalanceDomainsWalk(now, cpu, /*busy=*/true, ConsideredKind::kPeriodicBalance);
+  RecomputeWheelDues(cpu);
 }
 
 void Scheduler::CfsNohzBalance(Time now, CpuId cpu) {
   // The kicked core runs the periodic balancing routine for itself and on
   // behalf of all tickless idle cores (§2.2.2).
-  for (CpuId x : online_) {
-    if (x != cpu && !(cpus_[x].tickless && cpus_[x].rq.Idle())) {
-      continue;
+  //
+  // Fast path: nohz_all_due_ lower-bounds every idle-index member's
+  // earliest due time, so "now < nohz_all_due_" proves the whole delegated
+  // sweep would be interval skips — account them in bulk (idle_ndom_sum_)
+  // without visiting a single domain. The kicked cpu itself participates
+  // unconditionally; if it left the index since the kick (woke up busy),
+  // its own wheel must also clear.
+  if (now < nohz_all_due_) {
+    if (tickless_[cpu] != 0) {
+      // cpu is an index member: participants == index members exactly.
+      stats_.balance_interval_skips += static_cast<uint64_t>(idle_ndom_sum_);
+      return;
     }
-    for (SchedDomain& sd : cpus_[x].domains.domains) {
-      if (now < sd.last_balance + sd.balance_interval) {
-        stats_.balance_interval_skips += 1;
-        continue;
-      }
-      if (DesignatedCpu(x, sd) != x) {
-        stats_.balance_designation_skips += 1;
-        continue;
-      }
-      sd.last_balance = now;
-      BalanceDomain(now, x, sd, ConsideredKind::kNohzBalance);
+    if (now < wheel_[cpu].all_idle) {
+      stats_.balance_interval_skips +=
+          static_cast<uint64_t>(idle_ndom_sum_) + static_cast<uint64_t>(wheel_[cpu].ndom);
+      return;
     }
   }
+  for (CpuId x : online_) {
+    if (x != cpu && !(tickless_[x] != 0 && nr_running_[x] == 0)) {
+      continue;
+    }
+    BalanceWheel& w = wheel_[x];
+    if (now < w.all_idle) {
+      stats_.balance_interval_skips += static_cast<uint64_t>(w.ndom);
+      continue;
+    }
+    if (w.desig_gen == node_idle_gen_[topo_->NodeOf(x)] && now < w.fire_idle) {
+      for (SchedDomain& sd : cpus_[x].domains.domains) {
+        if (now < sd.last_balance + sd.balance_interval) {
+          stats_.balance_interval_skips += 1;
+        } else {
+          stats_.balance_designation_skips += 1;
+        }
+      }
+      continue;
+    }
+    BalanceDomainsWalk(now, x, /*busy=*/false, ConsideredKind::kNohzBalance);
+    RecomputeWheelDues(x);
+  }
+  // The sweep may have fired balances (dues moved forward) or only proved
+  // the bound stale-low; either way re-derive the globals exactly.
+  RecomputeNohzGlobals();
+}
+
+void Scheduler::BalanceDomainsWalk(Time now, CpuId cpu, bool busy, ConsideredKind kind) {
+  // The pre-wheel per-domain loop, verbatim: interval check, designation
+  // check, fire. The only addition is bookkeeping — designation answers are
+  // recorded into the wheel (and served from it while its generation holds)
+  // so the next ticks can skip without calling DesignatedCpu at all.
+  NodeId node = topo_->NodeOf(cpu);
+  BalanceWheel& w = wheel_[cpu];
+  if (w.desig_gen != node_idle_gen_[node]) {
+    w.desig_known = 0;
+    w.desig_self = 0;
+    w.desig_gen = node_idle_gen_[node];
+  }
+  int i = 0;
+  for (SchedDomain& sd : cpus_[cpu].domains.domains) {
+    // Levels beyond the 32 designation bits (never reached: trees are a
+    // handful of levels) simply stay unknown — conservative, not wrong.
+    const uint32_t bit = i < 32 ? (1u << i) : 0u;
+    ++i;
+    Time interval = busy ? sd.balance_interval * static_cast<Time>(tunables_.busy_balance_factor)
+                         : sd.balance_interval;
+    if (now < sd.last_balance + interval) {
+      stats_.balance_interval_skips += 1;
+      continue;
+    }
+    bool self;
+    if ((w.desig_known & bit) != 0 && w.desig_gen == node_idle_gen_[node]) {
+      self = (w.desig_self & bit) != 0;
+    } else {
+      self = DesignatedCpu(cpu, sd) == cpu;
+      w.desig_known |= bit;
+      if (self) {
+        w.desig_self |= bit;
+      } else {
+        w.desig_self &= ~bit;
+      }
+    }
+    if (!self) {
+      stats_.balance_designation_skips += 1;
+      continue;
+    }
+    sd.last_balance = now;
+    BalanceDomain(now, cpu, sd, kind);
+  }
+  if (w.desig_gen != node_idle_gen_[node]) {
+    // A balance moved tasks and flipped idleness mid-walk: bits recorded
+    // above mix generations. Drop them all; the next walk refills.
+    w.desig_known = 0;
+    w.desig_self = 0;
+    w.desig_gen = node_idle_gen_[node];
+  }
+}
+
+void Scheduler::RecomputeWheelDues(CpuId cpu) {
+  BalanceWheel& w = wheel_[cpu];
+  const Time factor = static_cast<Time>(tunables_.busy_balance_factor);
+  const bool bits_valid = w.desig_gen == node_idle_gen_[topo_->NodeOf(cpu)];
+  Time all_busy = kTimeNever;
+  Time all_idle = kTimeNever;
+  Time fire_busy = kTimeNever;
+  Time fire_idle = kTimeNever;
+  int i = 0;
+  for (const SchedDomain& sd : cpus_[cpu].domains.domains) {
+    const uint32_t bit = i < 32 ? (1u << i) : 0u;
+    ++i;
+    Time due_idle = sd.last_balance + sd.balance_interval;
+    Time due_busy = sd.last_balance + sd.balance_interval * factor;
+    all_idle = std::min(all_idle, due_idle);
+    all_busy = std::min(all_busy, due_busy);
+    // fire_* drops only domains *known* to be someone else's; unknown ones
+    // are conservatively treated as would-fire.
+    bool known_not_self =
+        bits_valid && (w.desig_known & bit) != 0 && (w.desig_self & bit) == 0;
+    if (!known_not_self) {
+      fire_idle = std::min(fire_idle, due_idle);
+      fire_busy = std::min(fire_busy, due_busy);
+    }
+  }
+  w.all_busy = all_busy;
+  w.all_idle = all_idle;
+  w.fire_busy = fire_busy;
+  w.fire_idle = fire_idle;
+  w.ndom = i;
+}
+
+void Scheduler::RecomputeNohzGlobals() {
+  Time min_due = kTimeNever;
+  int sum = 0;
+  for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
+    for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = idle_next_[c]) {
+      min_due = std::min(min_due, wheel_[c].all_idle);
+      sum += wheel_[c].ndom;
+    }
+  }
+  nohz_all_due_ = min_due;
+  idle_ndom_sum_ = sum;
 }
 
 void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
   Cpu& c = cpus_[cpu];
-  if (c.online == online) {
+  if (online_.Test(cpu) == online) {
     return;
   }
   balance_epoch_ += 1;  // Group membership (n_cpus) is about to change.
   topo_epoch_ += 1;     // Per-entry slice of the same fact, for group_cache_.
   if (!online) {
     // If the core sits idle in the index, drop it first: offline cpus are
-    // never listed (the evacuation below re-checks idle state with
-    // c.online already false, so it will not re-insert).
-    if (c.tickless) {
+    // never listed (the evacuation below re-checks idle state with the
+    // online bit already cleared, so it will not re-insert).
+    if (tickless_[cpu] != 0) {
       IdleIndexRemove(cpu);
     }
-    c.online = false;
     online_.Clear(cpu);
 
     // Evacuate the runqueue: the running thread first, then queued ones.
-    std::vector<SchedEntity*> evacuees;
+    // Member scratch, not a local vector: hotplug churn (the fuzzer, the
+    // hotplug scenarios) should not allocate per event.
+    evacuees_scratch_.clear();
     if (c.rq.curr() != nullptr) {
       SchedEntity* curr = c.rq.curr();
       trace_->OnSwitchOut(now, cpu, curr->tid, now - curr->switched_in_at,
                           /*still_runnable=*/true);
       c.rq.PutCurr(now, CfsRunqueue::PutKind::kBlocked);
       curr->queued_since = now;  // Starts waiting on the evacuation target.
-      evacuees.push_back(curr);
+      evacuees_scratch_.push_back(curr);
     }
     c.rq.ForEachQueued([&](const SchedEntity* se) {
-      evacuees.push_back(const_cast<SchedEntity*>(se));
+      evacuees_scratch_.push_back(const_cast<SchedEntity*>(se));
       return true;
     });
-    for (SchedEntity* se : evacuees) {
+    for (SchedEntity* se : evacuees_scratch_) {
       if (se->on_rq) {
         c.rq.DequeueQueued(se, now);
       }
@@ -584,11 +840,13 @@ void Scheduler::SetCpuOnline(Time now, CpuId cpu, bool online) {
     NotifyLoad(now, cpu);
     client_->KickCpu(cpu);
   } else {
-    c.online = true;
     online_.Set(cpu);
-    c.idle_since = now;
-    c.tickless = true;
+    idle_since_[cpu] = now;
+    tickless_[cpu] = 1;
     c.need_resched = false;
+    // The insert sums a wheel ndom that is stale (the offline tree was
+    // empty); RebuildDomains below recomputes the NOHZ globals exactly
+    // before any balancer can observe them.
     IdleIndexInsert(cpu);
   }
   RebuildDomains();
@@ -609,7 +867,7 @@ CpuId Scheduler::DesignatedCpu(CpuId cpu, const SchedDomain& sd) const {
     }
   }
   for (CpuId c : mask) {
-    if (cpus_[c].rq.Idle()) {
+    if (nr_running_[c] == 0) {
       return c;
     }
   }
@@ -629,6 +887,22 @@ void Scheduler::RebuildDomains() {
   for (CpuId c = 0; c < topo_->n_cores(); ++c) {
     cpus_[c].domains = std::move(trees[c]);
   }
+  // Fresh trees mean fresh SchedDomain objects (last_balance reset) and a
+  // possibly-changed online mask: rebuild the whole wheel layer. Bumping
+  // every node generation drops all cached designation bits — the online
+  // mask is a DesignatedCpu input that the idle generations do not
+  // otherwise cover.
+  for (uint64_t& gen : node_idle_gen_) {
+    gen += 1;
+  }
+  for (CpuId c = 0; c < topo_->n_cores(); ++c) {
+    BalanceWheel& w = wheel_[c];
+    w.desig_known = 0;
+    w.desig_self = 0;
+    w.desig_gen = node_idle_gen_[topo_->NodeOf(c)];
+    RecomputeWheelDues(c);
+  }
+  RecomputeNohzGlobals();
 }
 
 }  // namespace wcores

@@ -126,16 +126,29 @@ class Scheduler {
   // drops all cross-NUMA levels. Re-enabling regenerates domains the same
   // (possibly buggy) way.
   void SetCpuOnline(Time now, CpuId cpu, bool online);
-  bool IsOnline(CpuId cpu) const { return cpus_[cpu].online; }
+  bool IsOnline(CpuId cpu) const { return online_.Test(cpu); }
   CpuSet OnlineCpus() const { return online_; }
 
   // ---- Introspection (tools, tests, benches) -------------------------------
 
-  int NrRunning(CpuId cpu) const { return cpus_[cpu].rq.nr_running(); }
-  bool IsIdleCpu(CpuId cpu) const { return cpus_[cpu].rq.Idle(); }
-  Time IdleSince(CpuId cpu) const { return cpus_[cpu].idle_since; }
-  bool IsTickless(CpuId cpu) const { return cpus_[cpu].tickless; }
+  int NrRunning(CpuId cpu) const { return nr_running_[cpu]; }
+  bool IsIdleCpu(CpuId cpu) const { return nr_running_[cpu] == 0; }
+  Time IdleSince(CpuId cpu) const { return idle_since_[cpu]; }
+  bool IsTickless(CpuId cpu) const { return tickless_[cpu] != 0; }
+  // Some online cpu holds >= 2 runnable threads. O(1): the runqueues keep
+  // the count of overloaded cpus current through their stat slots, so
+  // policies gating their balancers on overload (COREIDLE) pay a counter
+  // read instead of an O(cpus) NrRunning sweep per gate.
+  bool AnyCpuOverloaded() const { return overloaded_cpus_ > 0; }
+  // The cpu Tick's NOHZ-kick check would select at this instant: the
+  // lowest-id online tickless idle cpu, or kInvalidCpu. Served from the
+  // per-node idle index; tests cross-check it against the linear scan it
+  // replaced.
+  CpuId NohzKickTarget() const;
   ThreadId CurrentThread(CpuId cpu) const;
+  // Memoized per-cpu load; defined inline below the class so the balance
+  // folds' dominant case — a memo hit — costs a few compares at the call
+  // site instead of a cross-TU call per cpu per group.
   double RqLoad(Time now, CpuId cpu) const;
   // From-scratch recomputation bypassing the RqLoad memo cache; the fuzzer
   // cross-checks the cached value against it.
@@ -149,6 +162,12 @@ class Scheduler {
   // online tickless cpus, in (idle_since, cpu) order. Fuzzer cross-check,
   // like ValidateGroupCache for the group-stats memo.
   bool ValidateIdleIndex() const;
+  // The balance-due wheel matches a from-scratch recomputation: per-cpu due
+  // minima over the domain intervals, cached designation bits (when their
+  // generation is current), the write-through nr_running/load_version
+  // mirrors, the overloaded-cpu count, and the NOHZ wheel's lower-bound /
+  // sum invariants. Fuzzer cross-check, like ValidateIdleIndex.
+  bool ValidateBalanceWheel() const;
   Time MinVruntime(CpuId cpu) const { return cpus_[cpu].rq.min_vruntime(); }
   // Runqueue structural invariants (test support; see CfsRunqueue).
   bool ValidateRq(CpuId cpu) const { return cpus_[cpu].rq.ValidateInvariants(); }
@@ -219,40 +238,52 @@ class Scheduler {
   }
 
  private:
+  // Per-cpu state that is *not* read by balance folds. Everything a group
+  // stats pass or a due check streams over lives in the dense parallel
+  // arrays below (structure-of-arrays): a deque<Cpu> element is hundreds of
+  // bytes of runqueue, so folding nr_running/load/idle state through it
+  // pointer-chases one cache line per cpu, while the arrays put eight
+  // members' worth of each field on a line or two.
   struct Cpu {
     Cpu(CpuId id, const SchedTunables* tunables, uint64_t* shared_load_epoch)
         : rq(id, tunables, shared_load_epoch) {}
 
     CfsRunqueue rq;
-    bool online = true;
     bool need_resched = false;
-    bool tickless = false;    // Idle and not receiving ticks.
-    Time idle_since = 0;      // Valid while rq.Idle().
-    bool imbalanced = false;  // A steal from this rq failed on affinity.
-    // Intrusive links of the per-node idle index (see idle_head_ below).
-    CpuId idle_prev = kInvalidCpu;
-    CpuId idle_next = kInvalidCpu;
     Time last_nohz_kick = 0;
     DomainTree domains;
 
     // Last values reported to the trace sink (report-on-change).
     int last_nr_reported = -1;
     double last_load_reported = -1.0;
+  };
 
-    // RqLoad memo (see Scheduler::RqLoad): the last computed load, valid
-    // while the query instant, the runqueue membership version, the
-    // autogroup epoch, and the feature generation all still match — or, when
-    // load_cache_const is set, at *any later* instant under the same
-    // version/epochs: every member tracker was constant from load_cache_now
-    // on (LoadTracker::ConstantFrom), so the cached sum is exactly what a
-    // recomputation would produce. mutable because RqLoad is logically
-    // const.
-    mutable Time load_cache_now = kTimeNever;
-    mutable uint64_t load_cache_version = 0;
-    mutable uint64_t load_cache_epoch = 0;
-    mutable uint64_t load_cache_feat = 0;
-    mutable bool load_cache_const = false;
-    mutable double load_cache_value = 0.0;
+  // Per-cpu balance-due wheel entry: the tick/NOHZ interval checks reduced
+  // to precomputed minima over this cpu's domains. all_* is the min of
+  // last_balance + interval over ALL domains (busy = interval stretched by
+  // busy_balance_factor, idle = base interval) — pure integer time
+  // arithmetic over the exact inputs the walk reads, so "now < all_busy"
+  // holds iff every domain would interval-skip. fire_* additionally drops
+  // domains whose cached designation says another cpu balances them, so
+  // "now < fire_busy" (under a current desig generation) means no domain
+  // would actually fire: the walk degenerates to skip accounting.
+  //
+  // Designation bits are filled lazily by the slow-path walk (only for
+  // domains whose interval check it passed; the rest stay unknown and are
+  // conservatively treated as would-fire) and are valid while the owning
+  // node's idle generation is unchanged: DesignatedCpu is a pure function
+  // of topology, the online mask, and the idleness of this cpu's node
+  // (its balance mask never leaves the node), and every idle flip bumps
+  // the node generation in UpdateIdleState.
+  struct BalanceWheel {
+    Time all_busy = 0;
+    Time all_idle = 0;
+    Time fire_busy = 0;
+    Time fire_idle = 0;
+    uint32_t desig_known = 0;  // Bit per domain level: designation cached.
+    uint32_t desig_self = 0;   // Valid where desig_known: this cpu fires it.
+    uint64_t desig_gen = 0;    // node_idle_gen_ snapshot for the bits.
+    int ndom = 0;
   };
 
   // Aggregate load/occupancy of one scheduling group (Algorithm 1 lines
@@ -356,6 +387,29 @@ class Scheduler {
   void IdleIndexInsert(CpuId cpu);
   void IdleIndexRemove(CpuId cpu);
   void RebuildDomains();
+
+  // ---- Balance-due wheel maintenance (see BalanceWheel above) -------------
+
+  // The slow path shared by CfsPeriodicBalance and CfsNohzBalance: the
+  // original per-domain walk (interval check, lazy designation, balance),
+  // recording designation bits into the wheel as they are computed. Exactly
+  // the pre-wheel loop body — the wheel's fast paths only run when this
+  // would have been pure skip accounting.
+  void BalanceDomainsWalk(Time now, CpuId cpu, bool busy, ConsideredKind kind);
+
+  // Recomputes wheel_[cpu]'s due minima from its domain tree (designation
+  // bits untouched; fire minima re-derived from the current bits).
+  void RecomputeWheelDues(CpuId cpu);
+
+  // Recomputes the NOHZ wheel (nohz_all_due_, idle_ndom_sum_) exactly from
+  // the idle index. Called after every NOHZ slow pass and on rebuilds; in
+  // between, IdleIndexInsert/Remove maintain idle_ndom_sum_ incrementally
+  // and keep nohz_all_due_ a conservative lower bound.
+  void RecomputeNohzGlobals();
+
+  // RqLoad's miss path: folds the runqueue (LoadAt) and refills the memo.
+  // Out of line so the inline hit path stays a handful of compares.
+  double RqLoadFill(Time now, CpuId cpu) const;
   CpuId FirstAllowedOnline(const CpuSet& affinity) const;
   void NotifyNrRunning(Time now, CpuId cpu);
   void NotifyLoad(Time now, CpuId cpu);
@@ -372,8 +426,66 @@ class Scheduler {
   std::deque<Cpu> cpus_;  // deque: Cpu is neither copyable nor movable.
   CpuSet online_;
 
+  // ---- Structure-of-arrays balance stats ----------------------------------
+  // The per-cpu fields every balance fold streams over, as dense parallel
+  // arrays indexed by CpuId (sized once in the constructor, never
+  // reallocated). nr_running_ and load_version_ are write-through mirrors
+  // owned by the runqueues (CfsRunqueue::set_stat_slots): every mutator
+  // updates the mirror in the same statement as the source of truth, so the
+  // arrays are exact, not eventually-consistent.
+  std::vector<int> nr_running_;        // == cpus_[c].rq.nr_running().
+  std::vector<uint64_t> load_version_; // == cpus_[c].rq.load_version().
+  std::vector<uint8_t> tickless_;      // Idle and not receiving ticks.
+  std::vector<uint8_t> imbalanced_;    // A steal from this rq failed on affinity.
+  std::vector<Time> idle_since_;       // Valid while nr_running_[c] == 0.
+  // Intrusive links of the per-node idle index (see idle_head_ below).
+  std::vector<CpuId> idle_prev_;
+  std::vector<CpuId> idle_next_;
+
+  // RqLoad memo (see Scheduler::RqLoad), SoA: the last computed load per
+  // cpu, valid while the query instant, the runqueue membership version,
+  // the autogroup epoch, and the feature generation all still match — or,
+  // when load_cache_const_ is set, at *any later* instant under the same
+  // version/epochs: every member tracker was constant from load_cache_now_
+  // on (LoadTracker::ConstantFrom), so the cached sum is exactly what a
+  // recomputation would produce. mutable because RqLoad is logically const.
+  mutable std::vector<Time> load_cache_now_;
+  mutable std::vector<uint64_t> load_cache_version_;
+  mutable std::vector<uint64_t> load_cache_epoch_;
+  mutable std::vector<uint64_t> load_cache_feat_;
+  mutable std::vector<uint8_t> load_cache_const_;
+  mutable std::vector<double> load_cache_value_;
+
+  // Count of online cpus with nr_running_ >= 2, maintained by the
+  // runqueues' write-through SyncNr (offline cpus are evacuated to empty,
+  // so "online" needs no separate filter). Backs AnyCpuOverloaded().
+  int overloaded_cpus_ = 0;
+
+  // ---- Balance-due wheel state --------------------------------------------
+  std::vector<BalanceWheel> wheel_;
+
+  // Per-node idle generation: bumped on every tickless flip of a cpu of the
+  // node (UpdateIdleState) and on every domain rebuild (all nodes). The
+  // validity key for BalanceWheel designation bits: DesignatedCpu(c, sd)
+  // reads only node-local idleness, the online mask, and the domain
+  // structure, all of which bump the generation when they change.
+  std::vector<uint64_t> node_idle_gen_;
+
+  // NOHZ wheel: a conservative monotone-stale lower bound on
+  // min(wheel_[x].all_idle) over the idle-index members. Sound because dues
+  // only move forward in time: IdleIndexInsert min-folds the newcomer in,
+  // removals and balance firings leave it stale-but-<=-true-min, and each
+  // NOHZ slow pass / rebuild recomputes it exactly (RecomputeNohzGlobals).
+  // "now < nohz_all_due_" therefore proves every delegated cpu would
+  // interval-skip every domain.
+  Time nohz_all_due_ = 0;
+  // Sum of wheel_[x].ndom over idle-index members: the bulk
+  // balance_interval_skips increment the NOHZ fast path owes, maintained
+  // incrementally in IdleIndexInsert/Remove.
+  int idle_ndom_sum_ = 0;
+
   // Incremental idle-CPU index: one intrusive doubly-linked list per NUMA
-  // node (links in Cpu::idle_prev/idle_next), sorted ascending by
+  // node (links in idle_prev_/idle_next_), sorted ascending by
   // (idle_since, cpu) — the same total order the old linear scan minimized —
   // holding exactly the online tickless cpus. LongestIdleCpu walks each
   // node's list to its first allowed entry instead of scanning the whole
@@ -393,12 +505,12 @@ class Scheduler {
 
   // Advances whenever any input to GroupLoadStats other than (now, ag_epoch_)
   // changes: any runqueue membership change (bumped by the runqueues through
-  // their shared_load_epoch pointer), any Cpu::imbalanced flip, and hotplug.
+  // their shared_load_epoch pointer), any imbalanced_ flip, and hotplug.
   uint64_t balance_epoch_ = 0;
 
   // Finer-grained slices of balance_epoch_, so cross-instant group entries
   // need not die with every unrelated runqueue change: hotplug (group
-  // membership / n_cpus) and Cpu::imbalanced flips, respectively.
+  // membership / n_cpus) and imbalanced_ flips, respectively.
   uint64_t topo_epoch_ = 0;
   uint64_t imb_epoch_ = 0;
 
@@ -433,10 +545,43 @@ class Scheduler {
   // keeps the newidle hot path free of per-pass heap allocation.
   std::vector<GroupLoadStats> balance_stats_scratch_;
 
+  // Same contract for the remaining per-pass temporaries: MoveTasks'
+  // candidate/cache-hot partitions and hotplug's evacuee list. Reused
+  // across calls (clear(), never shrink), so steady-state balancing and
+  // hotplug churn allocate nothing.
+  std::vector<SchedEntity*> move_candidates_scratch_;
+  std::vector<SchedEntity*> move_hot_scratch_;
+  std::vector<SchedEntity*> evacuees_scratch_;
+
   SchedStats stats_;
 
   static TraceSink* NullSink();
 };
+
+// Memoized exactly, so the cached value is bit-identical to a recompute:
+// the key covers everything LoadAt reads. Membership and weight changes
+// bump rq.load_version(); divisor changes bump ag_epoch_ or feature_gen_;
+// and a member tracker's SetState/Advance at the same instant leaves
+// ValueAt(now) unchanged (decay only accrues across instants), so same
+// (now, version, epochs) implies the same sum.
+//
+// Cross-instant: when load_cache_const is set, every member tracker was
+// constant from load_cache_now on (LoadTracker::ConstantFrom), so under an
+// unchanged version the sum at any later instant is the same doubles
+// folded in the same order — serve the cached value. The one tracker
+// mutation without a version bump, Tick's Advance on curr, cannot break
+// this: Advance of a constant tracker lands on avg == 1.0 and preserves
+// constancy, and a non-constant curr at fill time made load_cache_const
+// false to begin with.
+inline double Scheduler::RqLoad(Time now, CpuId cpu) const {
+  if (load_cache_version_[cpu] == load_version_[cpu] && load_cache_epoch_[cpu] == ag_epoch_ &&
+      load_cache_feat_[cpu] == feature_gen_ &&
+      (load_cache_now_[cpu] == now ||
+       (load_cache_const_[cpu] != 0 && now > load_cache_now_[cpu]))) {
+    return load_cache_value_[cpu];
+  }
+  return RqLoadFill(now, cpu);
+}
 
 }  // namespace wcores
 

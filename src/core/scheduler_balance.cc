@@ -12,15 +12,15 @@ Scheduler::GroupLoadStats Scheduler::ComputeGroupStats(Time now, const CpuSet& c
                                                        const CpuSet& excluded) const {
   GroupLoadStats gs;
   for (CpuId c : cpus) {
-    if (!cpus_[c].online || excluded.Test(c)) {
+    if (!online_.Test(c) || excluded.Test(c)) {
       continue;
     }
     double load = RqLoad(now, c);
     gs.sum_load += load;
     gs.min_load = std::min(gs.min_load, load);
     gs.n_cpus += 1;
-    gs.nr_running += cpus_[c].rq.nr_running();
-    gs.imbalanced = gs.imbalanced || cpus_[c].imbalanced;
+    gs.nr_running += nr_running_[c];
+    gs.imbalanced = gs.imbalanced || imbalanced_[c] != 0;
   }
   return gs;
 }
@@ -28,8 +28,8 @@ Scheduler::GroupLoadStats Scheduler::ComputeGroupStats(Time now, const CpuSet& c
 uint64_t Scheduler::MemberVersionSum(const CpuSet& cpus) const {
   uint64_t sum = 0;
   for (CpuId c : cpus) {
-    if (cpus_[c].online) {
-      sum += cpus_[c].rq.load_version();
+    if (online_.Test(c)) {
+      sum += load_version_[c];
     }
   }
   return sum;
@@ -122,18 +122,17 @@ Scheduler::GroupLoadStats Scheduler::GroupStats(Time now, const CpuSet& cpus, in
   bool all_const = true;
   uint64_t version_sum = 0;
   for (CpuId c : cpus) {
-    const Cpu& cc = cpus_[c];
-    if (!cc.online) {
+    if (!online_.Test(c)) {
       continue;
     }
     double load = RqLoad(now, c);
     e.stats.sum_load += load;
     e.stats.min_load = std::min(e.stats.min_load, load);
     e.stats.n_cpus += 1;
-    e.stats.nr_running += cc.rq.nr_running();
-    e.stats.imbalanced = e.stats.imbalanced || cc.imbalanced;
-    all_const = all_const && cc.load_cache_const;
-    version_sum += cc.rq.load_version();
+    e.stats.nr_running += nr_running_[c];
+    e.stats.imbalanced = e.stats.imbalanced || imbalanced_[c] != 0;
+    all_const = all_const && load_cache_const_[c] != 0;
+    version_sum += load_version_[c];
   }
   e.filled_at = now;
   e.balance_epoch = balance_epoch_;
@@ -167,57 +166,62 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
   // 20-22). When a whole busiest group is excluded, group selection redoes
   // without it — the kernel's LBF_ALL_PINNED "redo" path.
   CpuSet excluded;
-  bool first_pass = true;
+
+  // Lines 10-12: average (and minimum) load of every scheduling group,
+  // computed once per call.
+  //
+  // Memoized through the group cache accessor (GroupStats): when NOHZ
+  // balancing walks every idle core's domain tree at one instant, each
+  // distinct group cpu set — and top-level trees share all of theirs — is
+  // aggregated once instead of once per tree; and newidle passes, which
+  // each run at a fresh instant after one runqueue changed, serve every
+  // group the context switch did *not* touch from its all-const entry
+  // (exact decay-forward; see GroupEntryLive) instead of re-walking the
+  // entities.
+  //
+  // Redo passes (the kernel's LBF_ALL_PINNED path) do NOT refold: within
+  // one call, cpus are only ever excluded from the *busiest* group — the
+  // src loop picks sources there, and group exhaustion excludes its
+  // remainder — and groups partition the domain, so every other group's
+  // refold under the exclusion would reproduce the same member loads folded
+  // in the same order, bit-identically. Zeroing the exhausted group's slot
+  // in place (n_cpus == 0 groups are never selected) therefore leaves every
+  // later comparison, counter, and steal decision exactly as the refold
+  // would have, at O(groups) per redo instead of O(domain cpus).
+  std::vector<GroupLoadStats>& stats = balance_stats_scratch_;
+  stats.assign(sd.groups.size(), GroupLoadStats{});
+  for (size_t g = 0; g < sd.groups.size(); ++g) {
+    // Singleton groups (every bottom-level group is one cpu) fold straight
+    // off the per-cpu memo: the group-cache fold over a one-member set is
+    // exactly {load, load, 1, nr, imb} — or the all-default stats when the
+    // member is offline — so the cache adds lookup cost and nothing else.
+    CpuId solo = sd.groups[g].solo;
+    if (solo != kInvalidCpu) {
+      if (online_.Test(solo)) {
+        double load = RqLoad(now, solo);
+        GroupLoadStats& gs = stats[g];
+        gs.sum_load = load;
+        gs.min_load = load;
+        gs.n_cpus = 1;
+        gs.nr_running = nr_running_[solo];
+        gs.imbalanced = imbalanced_[solo] != 0;
+      }
+      continue;
+    }
+    stats[g] = GroupStats(now, sd.groups[g].cpus, &sd.groups[g].stats_slot);
+  }
+  // The cores examined: every online member of every group. Folded once
+  // per domain rebuild, not once per pass — see considered_cache.
+  if (!sd.considered_cached) {
+    for (const SchedGroup& grp : sd.groups) {
+      sd.considered_cache |= grp.cpus & online_;
+    }
+    sd.considered_cached = true;
+  }
+  trace_->OnConsidered(now, cpu, sd.considered_cache, kind);
 
   for (;;) {
     int excluded_at_pass_start = excluded.Count();
-
-    // Lines 10-12: average (and minimum) load of every scheduling group.
-    //
-    // Memoized through the group cache accessor (GroupStats): when NOHZ
-    // balancing walks every idle core's domain tree at one instant, each
-    // distinct group cpu set — and top-level trees share all of theirs — is
-    // aggregated once instead of once per tree; and newidle passes, which
-    // each run at a fresh instant after one runqueue changed, serve every
-    // group the context switch did *not* touch from its all-const entry
-    // (exact decay-forward; see GroupEntryLive) instead of re-walking the
-    // entities. Redo passes carry exclusions, which are per-call state, and
-    // recompute with the fused aggregate-and-union loop.
-    const bool cacheable = excluded.Empty();
-    std::vector<GroupLoadStats>& stats = balance_stats_scratch_;
-    stats.assign(sd.groups.size(), GroupLoadStats{});
-    CpuSet considered;
-    if (!cacheable) {
-      for (size_t g = 0; g < sd.groups.size(); ++g) {
-        for (CpuId c : sd.groups[g].cpus) {
-          if (!cpus_[c].online || excluded.Test(c)) {
-            continue;
-          }
-          considered.Set(c);
-          double load = RqLoad(now, c);
-          GroupLoadStats& gs = stats[g];
-          gs.sum_load += load;
-          gs.min_load = std::min(gs.min_load, load);
-          gs.n_cpus += 1;
-          gs.nr_running += cpus_[c].rq.nr_running();
-          gs.imbalanced = gs.imbalanced || cpus_[c].imbalanced;
-        }
-      }
-    } else {
-      for (size_t g = 0; g < sd.groups.size(); ++g) {
-        stats[g] = GroupStats(now, sd.groups[g].cpus, &sd.groups[g].stats_slot);
-      }
-      // The cores examined: every online member of every group. (cacheable
-      // implies an empty excluded set, so cache hits above did not skip
-      // anything this union would have to re-add.)
-      for (const SchedGroup& grp : sd.groups) {
-        considered |= grp.cpus & online_;
-      }
-    }
-    if (first_pass) {
-      trace_->OnConsidered(now, cpu, considered, kind);
-      first_pass = false;
-    }
 
     // Line 13: the busiest group, preferring overloaded then imbalanced ones.
     int local = sd.local_group;
@@ -252,11 +256,17 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
       CpuId src = kInvalidCpu;
       double src_load = 0;
       for (CpuId c : sd.groups[busiest].cpus) {
-        if (c == cpu || excluded.Test(c) || !cpus_[c].online) {
+        if (c == cpu || excluded.Test(c) || !online_.Test(c)) {
           continue;
         }
-        if (cpus_[c].rq.queued() < 1) {
-          continue;  // Nothing stealable (curr cannot be migrated).
+        // Nothing stealable (curr cannot be migrated). Screened through the
+        // dense nr mirror first: nr == 0 means an empty tree and nr >= 2
+        // guarantees a queued entity (at most one curr), so only nr == 1 —
+        // where curr-only and one-queued look alike — needs to dereference
+        // the runqueue.
+        int nr = nr_running_[c];
+        if (nr < 1 || (nr == 1 && cpus_[c].rq.queued() < 1)) {
+          continue;
         }
         double load = RqLoad(now, c);
         if (src == kInvalidCpu || load > src_load) {
@@ -270,7 +280,7 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
       }
 
       double imbalance = (src_load - this_load) / 2.0;
-      bool force_min_one = cpus_[cpu].rq.Idle() && cpus_[src].rq.nr_running() >= 2;
+      bool force_min_one = nr_running_[cpu] == 0 && nr_running_[src] >= 2;
       if (imbalance <= 0 && !force_min_one) {
         stats_.balance_failures += 1;
         return 0;
@@ -278,8 +288,8 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
 
       int moved = MoveTasks(now, src, cpu, imbalance, force_min_one, reason);
       if (moved > 0) {
-        if (cpus_[src].imbalanced) {
-          cpus_[src].imbalanced = false;
+        if (imbalanced_[src] != 0) {
+          imbalanced_[src] = 0;
           balance_epoch_ += 1;
           imb_epoch_ += 1;
         }
@@ -291,8 +301,8 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
       // the source imbalanced (so its group is favoured by cores that *can*
       // help) and retry with the next busiest cpu.
       if (cpus_[src].rq.queued() >= 1 && !cpus_[src].rq.HasStealableFor(cpu) &&
-          !cpus_[src].imbalanced) {
-        cpus_[src].imbalanced = true;
+          imbalanced_[src] == 0) {
+        imbalanced_[src] = 1;
         balance_epoch_ += 1;
         imb_epoch_ += 1;
       }
@@ -304,7 +314,7 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
       // redo shrinks the candidate set, so this terminates; a group with
       // every cpu excluded has n_cpus == 0 and is never selected again.
       for (CpuId c : sd.groups[busiest].cpus) {
-        if (c != cpu && cpus_[c].online) {
+        if (c != cpu && online_.Test(c)) {
           excluded.Set(c);
         }
       }
@@ -313,6 +323,10 @@ int Scheduler::BalanceDomain(Time now, CpuId cpu, SchedDomain& sd, ConsideredKin
         stats_.balance_failures += 1;
         return 0;
       }
+      // Redo group selection without the exhausted group (see the stats
+      // comment above: disjointness makes dropping its slot bit-identical
+      // to refolding every group under the exclusion).
+      stats[busiest] = GroupLoadStats{};
     }
   }
 }
@@ -326,8 +340,12 @@ int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load
   // longest-waiting / least cache-hot end), as load_balance does. Threads
   // that ran within cache_hot_threshold (sched_migration_cost) are demoted
   // to a second-chance list, taken only when no cold candidate suffices.
-  std::vector<SchedEntity*> candidates;
-  std::vector<SchedEntity*> hot;
+  // Member scratch (balancing never nests): steady-state passes allocate
+  // nothing.
+  std::vector<SchedEntity*>& candidates = move_candidates_scratch_;
+  std::vector<SchedEntity*>& hot = move_hot_scratch_;
+  candidates.clear();
+  hot.clear();
   src.rq.ForEachQueued([&](const SchedEntity* se) {
     if (!se->affinity.Test(dst_cpu)) {
       return true;
@@ -335,10 +353,10 @@ int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load
     bool cache_hot = se->last_ran != 0 && now > se->last_ran &&
                      now - se->last_ran < tunables_.cache_hot_threshold;
     if (cache_hot) {
-      // wc-lint: allow(A2 bounded by source-rq residents; one pass per balance)
+      // wc-lint: allow(A2 append into reused member scratch; steady state runs at retained capacity)
       hot.push_back(const_cast<SchedEntity*>(se));
     } else {
-      // wc-lint: allow(A2 bounded by source-rq residents; one pass per balance)
+      // wc-lint: allow(A2 append into reused member scratch; steady state runs at retained capacity)
       candidates.push_back(const_cast<SchedEntity*>(se));
     }
     return true;
@@ -348,7 +366,7 @@ int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load
 
   int moved = 0;
   double moved_load = 0;
-  bool dst_was_idle = dst.rq.Idle();
+  bool dst_was_idle = nr_running_[dst_cpu] == 0;
   for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
     SchedEntity* se = *it;
     if (moved_load >= max_load && !(force_min_one && moved == 0)) {
@@ -360,7 +378,7 @@ int Scheduler::MoveTasks(Time now, CpuId src_cpu, CpuId dst_cpu, double max_load
       break;
     }
     // Never empty the source completely: it must keep one runnable thread.
-    if (src.rq.nr_running() <= 1) {
+    if (nr_running_[src_cpu] <= 1) {
       break;
     }
     // wc-lint: allow(D6 single-entity pick; aggregates still come from GroupStats) allow(A4 one-entity read to debit moved load; not a rq-sum fold)

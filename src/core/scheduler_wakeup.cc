@@ -44,7 +44,7 @@ CpuId Scheduler::SelectTaskRq(Time now, const SchedEntity& se, CpuId waker_cpu,
     CpuId suggested = wake_policy_->Suggest(ctx);
     if (suggested != kInvalidCpu && allowed.Test(suggested)) {
       considered->Set(suggested);
-      if (!cpus_[suggested].rq.Idle()) {
+      if (nr_running_[suggested] != 0) {
         CpuId idle = LongestIdleCpu(allowed);
         if (idle != kInvalidCpu) {
           stats_.wake_policy_vetoes += 1;
@@ -63,7 +63,7 @@ CpuId Scheduler::SelectTaskRq(Time now, const SchedEntity& se, CpuId waker_cpu,
     // if idle; otherwise on the core that has been idle the longest (the
     // head of the kernel's idle-core list, a constant-time pick); otherwise
     // fall back to the original algorithm.
-    if (se.cpu != kInvalidCpu && allowed.Test(se.cpu) && cpus_[se.cpu].rq.Idle()) {
+    if (se.cpu != kInvalidCpu && allowed.Test(se.cpu) && nr_running_[se.cpu] == 0) {
       considered->Set(se.cpu);
       return se.cpu;
     }
@@ -73,7 +73,7 @@ CpuId Scheduler::SelectTaskRq(Time now, const SchedEntity& se, CpuId waker_cpu,
       // idle index (exactly the online idle cpus) instead of re-scanning
       // the whole machine for them.
       for (NodeId n = 0; n < topo_->n_nodes(); ++n) {
-        for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = cpus_[c].idle_next) {
+        for (CpuId c = idle_head_[n]; c != kInvalidCpu; c = idle_next_[c]) {
           if (allowed.Test(c)) {
             considered->Set(c);
           }
@@ -124,12 +124,12 @@ CpuId Scheduler::SelectTaskRqStock(Time now, const SchedEntity& se, CpuId waker_
   *considered |= candidates;
 
   // Prefer the core the thread last ran on, for cache reuse.
-  if (candidates.Test(prev) && cpus_[prev].rq.Idle()) {
+  if (candidates.Test(prev) && nr_running_[prev] == 0) {
     return prev;
   }
   // Any idle core of the node.
   for (CpuId c : candidates) {
-    if (cpus_[c].rq.Idle()) {
+    if (nr_running_[c] == 0) {
       return c;
     }
   }
@@ -138,7 +138,7 @@ CpuId Scheduler::SelectTaskRqStock(Time now, const SchedEntity& se, CpuId waker_
   int best_nr = 0;
   double best_load = 0;
   for (CpuId c : candidates) {
-    int nr = cpus_[c].rq.nr_running();
+    int nr = nr_running_[c];
     double load = RqLoad(now, c);
     if (best == kInvalidCpu || nr < best_nr || (nr == best_nr && load < best_load)) {
       best = c;

@@ -26,12 +26,12 @@ CpuSet CoreIdlePolicy::ActiveSet() const {
 }
 
 bool CoreIdlePolicy::AnyOverloaded() const {
-  for (CpuId c : sched_->OnlineCpus()) {
-    if (sched_->NrRunning(c) >= 2) {
-      return true;
-    }
-  }
-  return false;
+  // The mechanism keeps an exact overloaded-cpu count through the
+  // runqueues' write-through stat slots, so this gate — paid on every tick
+  // and newidle event under COREIDLE — is a counter read, not an O(cpus)
+  // NrRunning sweep. Offline cpus are always evacuated to empty queues, so
+  // the count over all cpus equals the count over online ones.
+  return sched_->AnyCpuOverloaded();
 }
 
 CpuId CoreIdlePolicy::Place(const SchedEntity& se, CpuId prev, CpuSet* considered) const {

@@ -10,6 +10,7 @@
 #ifndef SRC_TOOLS_SWEEP_TRACE_HASH_H_
 #define SRC_TOOLS_SWEEP_TRACE_HASH_H_
 
+#include <array>
 #include <cstdint>
 
 #include "src/core/trace.h"
@@ -25,15 +26,48 @@ class Fnv1a {
   static constexpr uint64_t kPrime = 0x100000001b3ULL;
 
   void Mix(uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      hash_ = (hash_ ^ ((value >> (i * 8)) & 0xff)) * kPrime;
+    // Canonically: eight rounds of h = (h ^ byte) * prime, bytes LSB-first.
+    // A zero byte's round is h = (h ^ 0) * prime = h * prime, and multiply
+    // mod 2^64 is associative, so a run of k trailing zero bytes collapses
+    // into one multiply by prime^k — the same digest, bit for bit (the
+    // golden determinism hashes pin this equivalence in tests). Most mixed
+    // values are tiny (tags, cpu ids, nr counts), turning the serial
+    // 8-multiply dependency chain — this sink runs on every trace event —
+    // into two multiplies.
+    // Interior zero-byte runs (timestamps and double bit patterns carry
+    // plenty) collapse the same way mid-stream.
+    uint64_t h = hash_;
+    int bytes = 0;
+    while (value != 0) {
+      if ((value & 0xff) == 0) {
+        int run = __builtin_ctzll(value) >> 3;  // value != 0 here.
+        h *= kZeroTail[run];
+        value >>= run * 8;
+        bytes += run;
+      } else {
+        h = (h ^ (value & 0xff)) * kPrime;
+        value >>= 8;
+        ++bytes;
+      }
     }
+    hash_ = h * kZeroTail[8 - bytes];
   }
   void MixDouble(double value);
 
   uint64_t digest() const { return hash_; }
 
  private:
+  // kZeroTail[k] = kPrime^k mod 2^64: the collapsed factor for k all-zero
+  // trailing bytes (see Mix).
+  static constexpr auto kZeroTail = [] {
+    std::array<uint64_t, 9> t{};
+    t[0] = 1;
+    for (int k = 1; k < 9; ++k) {
+      t[k] = t[k - 1] * kPrime;
+    }
+    return t;
+  }();
+
   uint64_t hash_ = kOffset;
 };
 

@@ -40,6 +40,11 @@ struct SchedGroup {
   // per-pass lookup skips the key scan. Purely an accelerator — the cache
   // re-verifies the cpu set, so a stale hint only costs one rescan.
   int stats_slot = -1;
+  // The group's only cpu when it is a singleton (bottom-level groups are
+  // one cpu each), else kInvalidCpu. Set at build time; lets the balancer
+  // fold a singleton straight off the per-cpu load memo instead of going
+  // through the group cache.
+  CpuId solo = kInvalidCpu;
 };
 
 struct SchedDomain {
@@ -54,6 +59,13 @@ struct SchedDomain {
 
   // Index of the group containing the owning cpu, set at build time.
   int local_group = -1;
+
+  // Lazily-filled union of online group members — the set every balance
+  // pass reports via OnConsidered. Valid until the next domain rebuild,
+  // which is the only path that changes the online mask or the group lists
+  // (and which constructs fresh SchedDomain objects, resetting the flag).
+  CpuSet considered_cache;
+  bool considered_cached = false;
 };
 
 // The bottom-up domain list owned by one cpu.

@@ -1,0 +1,211 @@
+// Directed regressions for the balance-due wheel (the epoch-ized periodic
+// balancer): hotplug of the cpu whose dues fire next, feature toggles
+// mid-run — the bug class where a memo layer survives a reconfiguration it
+// should have observed — and the NOHZ-kick target's equivalence with the
+// linear scan it replaced.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/topo/topology.h"
+
+namespace wcores {
+namespace {
+
+class NullClient : public SchedClient {
+ public:
+  void KickCpu(CpuId) override {}
+  void NohzKick(CpuId) override {}
+};
+
+// The scan NohzKickTarget replaced: first online cpu, ascending id, that is
+// tickless and idle.
+CpuId ScanKickTarget(const Scheduler& sched, int n_cores) {
+  for (CpuId c = 0; c < n_cores; ++c) {
+    if (sched.IsOnline(c) && sched.IsTickless(c) && sched.IsIdleCpu(c)) {
+      return c;
+    }
+  }
+  return kInvalidCpu;
+}
+
+// The cpu whose per-cpu wheel holds the earliest idle-path due, recomputed
+// from the domain trees (what the wheel itself caches as all_idle).
+CpuId CpuHoldingNextDue(const Scheduler& sched, int n_cores) {
+  CpuId best = kInvalidCpu;
+  Time best_due = 0;
+  for (CpuId c = 0; c < n_cores; ++c) {
+    if (!sched.IsOnline(c)) {
+      continue;
+    }
+    for (const SchedDomain& sd : sched.Domains(c).domains) {
+      Time due = sd.last_balance + sd.balance_interval;
+      if (best == kInvalidCpu || due < best_due) {
+        best = c;
+        best_due = due;
+      }
+    }
+  }
+  return best;
+}
+
+class BalanceWheelTest : public ::testing::Test {
+ protected:
+  static constexpr int kCpus = 8;
+
+  void Build() {
+    topo_ = std::make_unique<Topology>(Topology::Flat(2, 4, 1));
+    sched_ = std::make_unique<Scheduler>(*topo_, SchedFeatures::AllFixed(),
+                                         SchedTunables::ForCpus(topo_->n_cores()), &client_);
+  }
+
+  // `threads` runnable threads per cpu in `busy`, running the first of
+  // each. Two threads makes the cpu overloaded (balancing has something to
+  // move); one keeps it busy but sterile (nothing stealable).
+  void Populate(const std::vector<CpuId>& busy, int threads) {
+    for (CpuId cpu : busy) {
+      for (int i = 0; i < threads; ++i) {
+        ThreadParams p;
+        p.parent_cpu = cpu;
+        sched_->CreateThread(clock_, p);
+      }
+      sched_->PickNext(clock_, cpu);
+    }
+  }
+
+  // Ticks every busy online cpu once per tick period for `rounds` periods,
+  // validating the wheel after every instant. Busy-cpu balance intervals
+  // are stretched by busy_balance_factor (32x), so reaching a periodic
+  // fire takes spans of ~128 ms — callers pick `rounds` accordingly.
+  void TickRounds(int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      clock_ += Milliseconds(4);
+      for (CpuId c = 0; c < kCpus; ++c) {
+        if (sched_->IsOnline(c) && !sched_->IsIdleCpu(c)) {
+          sched_->Tick(clock_, c);
+        }
+      }
+      ASSERT_TRUE(sched_->ValidateBalanceWheel()) << "t=" << clock_;
+      ASSERT_TRUE(sched_->ValidateIdleIndex()) << "t=" << clock_;
+    }
+  }
+
+  std::unique_ptr<Topology> topo_;
+  NullClient client_;
+  std::unique_ptr<Scheduler> sched_;
+  Time clock_ = 0;
+};
+
+TEST_F(BalanceWheelTest, OfflineCpuHoldingNextDueMidRun) {
+  Build();
+  Populate({0, 1, 2, 3, 4, 5}, /*threads=*/2);
+  ASSERT_TRUE(sched_->ValidateBalanceWheel());
+
+  TickRounds(8);
+
+  // Offline precisely the cpu whose dues fire next: its wheel state must
+  // drop out cleanly (fresh domains, fresh wheel) and everyone else's must
+  // survive the rebuild.
+  CpuId victim = CpuHoldingNextDue(*sched_, kCpus);
+  ASSERT_NE(victim, kInvalidCpu);
+  clock_ += Milliseconds(1);
+  sched_->SetCpuOnline(clock_, victim, false);
+  ASSERT_TRUE(sched_->ValidateBalanceWheel()) << "after offlining " << victim;
+  ASSERT_TRUE(sched_->ValidateIdleIndex());
+
+  // Balancing must keep firing on the shrunken machine: the rebuilt wheel
+  // may not wedge the periodic path (a mis-derived due would push the next
+  // fire arbitrarily far out). 60 rounds spans the 32x busy interval of
+  // both remaining levels.
+  uint64_t calls_before = sched_->stats().balance_calls;
+  TickRounds(60);
+  EXPECT_GT(sched_->stats().balance_calls, calls_before)
+      << "periodic balancing stopped after hotplug of the next-due cpu";
+
+  // And back online: same story.
+  clock_ += Milliseconds(1);
+  sched_->SetCpuOnline(clock_, victim, true);
+  ASSERT_TRUE(sched_->ValidateBalanceWheel()) << "after onlining " << victim;
+  calls_before = sched_->stats().balance_calls;
+  TickRounds(60);
+  EXPECT_GT(sched_->stats().balance_calls, calls_before);
+}
+
+TEST_F(BalanceWheelTest, FeatureToggleMidRunRecomputesDues) {
+  Build();
+  Populate({0, 1, 2, 3}, /*threads=*/2);
+  TickRounds(8);
+
+  // Flip every balance-relevant feature mid-run. Metric and autogroup flags
+  // take effect immediately (feature generation); domain-construction flags
+  // at the next rebuild. The wheel must stay coherent through both.
+  sched_->UpdateFeatures(SchedFeatures::Stock());
+  ASSERT_TRUE(sched_->ValidateBalanceWheel()) << "after toggling features off";
+
+  uint64_t calls_before = sched_->stats().balance_calls;
+  TickRounds(60);
+  EXPECT_GT(sched_->stats().balance_calls, calls_before)
+      << "periodic balancing stopped after feature toggle";
+
+  // Force a rebuild under the flipped construction flags (hotplug round
+  // trip), then flip everything back on mid-run.
+  clock_ += Milliseconds(1);
+  sched_->SetCpuOnline(clock_, 7, false);
+  sched_->SetCpuOnline(clock_, 7, true);
+  ASSERT_TRUE(sched_->ValidateBalanceWheel()) << "after rebuild under flipped flags";
+
+  sched_->UpdateFeatures(SchedFeatures::AllFixed());
+  ASSERT_TRUE(sched_->ValidateBalanceWheel()) << "after toggling features back on";
+  calls_before = sched_->stats().balance_calls;
+  TickRounds(60);
+  EXPECT_GT(sched_->stats().balance_calls, calls_before);
+}
+
+TEST_F(BalanceWheelTest, NohzKickTargetMatchesLinearScan) {
+  Build();
+  // Start with everything idle: the constructor makes every cpu tickless.
+  ASSERT_EQ(sched_->NohzKickTarget(), ScanKickTarget(*sched_, kCpus));
+
+  // Busy cpus 0 and 2 — one thread each, so newidle balancing elsewhere
+  // has nothing to steal and the busy/idle split stays put. The first
+  // tickless idle cpu is now 1.
+  Populate({0, 2}, /*threads=*/1);
+  ASSERT_EQ(sched_->NohzKickTarget(), ScanKickTarget(*sched_, kCpus));
+  ASSERT_EQ(sched_->NohzKickTarget(), 1);
+
+  // Busy cpu 1 as well: the target shifts past it.
+  Populate({1}, /*threads=*/1);
+  ASSERT_EQ(sched_->NohzKickTarget(), ScanKickTarget(*sched_, kCpus));
+  ASSERT_EQ(sched_->NohzKickTarget(), 3);
+
+  // Offline the would-be target: both sides must skip it.
+  clock_ += Milliseconds(1);
+  sched_->SetCpuOnline(clock_, 3, false);
+  ASSERT_EQ(sched_->NohzKickTarget(), ScanKickTarget(*sched_, kCpus));
+  ASSERT_EQ(sched_->NohzKickTarget(), 4);
+
+  // A busy cpu going idle re-enters both views.
+  clock_ += Milliseconds(1);
+  sched_->BlockCurrent(clock_, 2);
+  sched_->PickNext(clock_, 2);
+  ASSERT_TRUE(sched_->IsIdleCpu(2));
+  ASSERT_EQ(sched_->NohzKickTarget(), ScanKickTarget(*sched_, kCpus));
+  ASSERT_EQ(sched_->NohzKickTarget(), 2);
+
+  // Back online: the lower-id idle cpu 2 still wins, and cpu 3 reappears
+  // in both views once 2 is busy again.
+  clock_ += Milliseconds(1);
+  sched_->SetCpuOnline(clock_, 3, true);
+  ASSERT_EQ(sched_->NohzKickTarget(), ScanKickTarget(*sched_, kCpus));
+  Populate({2}, /*threads=*/1);
+  ASSERT_EQ(sched_->NohzKickTarget(), ScanKickTarget(*sched_, kCpus));
+  ASSERT_EQ(sched_->NohzKickTarget(), 3);
+
+  ASSERT_TRUE(sched_->ValidateBalanceWheel());
+  ASSERT_TRUE(sched_->ValidateIdleIndex());
+}
+
+}  // namespace
+}  // namespace wcores

@@ -181,6 +181,12 @@ class InvariantChecker {
     ASSERT_EQ(sched.LongestIdleCpu(sim_->topo().AllCpus()), ScanLongestIdle(sched, n_cores))
         << "indexed LongestIdleCpu disagrees with linear scan at t=" << now;
 
+    // Balance-due wheel coherence: the per-cpu due minima, designation
+    // bits, write-through stat mirrors, and NOHZ globals all match a
+    // from-scratch recomputation over the domain trees.
+    ASSERT_TRUE(sched.ValidateBalanceWheel())
+        << "balance wheel diverged from recomputation at t=" << now;
+
     // Sanity-checker parity with an independent scan.
     bool expect_violation = false;
     for (CpuId idle : sched.OnlineCpus()) {
