@@ -2,13 +2,16 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace wcores {
@@ -96,6 +99,93 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv,
     opts.stream_dir = opts.out_dir + "/stream";
   }
   return opts;
+}
+
+// ---- Checked numeric flag parsing ------------------------------------------
+//
+// Bare std::stoi/std::stod on flag values turns a typo ("--threads=abc",
+// "--seed=") into an uncaught std::invalid_argument and a terminate() with
+// no indication of which flag was wrong. Every numeric flag goes through
+// these instead: the whole value must parse as one in-range number, and
+// anything else takes the same hard-error exit(2) path as an unknown flag.
+
+[[noreturn]] inline void BadFlagValue(const char* flag, const std::string& value,
+                                      const char* expected) {
+  std::fprintf(stderr, "invalid value '%s' for --%s: expected %s\n", value.c_str(), flag,
+               expected);
+  std::exit(2);
+}
+
+// Signed integer in [min_value, max_value]; `def` when the flag was not given.
+inline long long ParseIntFlag(const char* flag, const std::string& value, long long def,
+                              long long min_value, long long max_value) {
+  if (value.empty()) {
+    return def;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() || v < min_value || v > max_value) {
+    char expected[96];
+    std::snprintf(expected, sizeof(expected), "an integer in [%lld, %lld]", min_value,
+                  max_value);
+    BadFlagValue(flag, value, expected);
+  }
+  return v;
+}
+
+// Unsigned 64-bit integer; `def` when the flag was not given.
+inline uint64_t ParseU64Flag(const char* flag, const std::string& value, uint64_t def) {
+  if (value.empty()) {
+    return def;
+  }
+  if (value[0] == '-' || value[0] == '+') {
+    BadFlagValue(flag, value, "an unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    BadFlagValue(flag, value, "an unsigned integer");
+  }
+  return v;
+}
+
+// Finite double in [min_value, max_value]; `def` when the flag was not given.
+inline double ParseDoubleFlag(const char* flag, const std::string& value, double def,
+                              double min_value, double max_value) {
+  if (value.empty()) {
+    return def;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size() || !std::isfinite(v) ||
+      v < min_value || v > max_value) {
+    char expected[96];
+    std::snprintf(expected, sizeof(expected), "a number in [%g, %g]", min_value, max_value);
+    BadFlagValue(flag, value, expected);
+  }
+  return v;
+}
+
+// ---- Host-core detection ---------------------------------------------------
+//
+// std::thread::hardware_concurrency() is allowed to return 0 ("not
+// computable"). Callers that sweep with a fallback of 1 thread must also
+// *report* 1 — recording the raw 0 while sweeping with 1 feeds trend
+// tooling a host with no cores.
+struct HostCores {
+  int cores = 1;         // The value actually used (>= 1).
+  bool detected = true;  // False when hardware_concurrency() returned 0.
+};
+
+inline HostCores DetectHostCores() {
+  unsigned hw = std::thread::hardware_concurrency();
+  HostCores out;
+  out.detected = hw != 0;
+  out.cores = out.detected ? static_cast<int>(hw) : 1;
+  return out;
 }
 
 // Writes `name` into opts.out_dir, creating the directory on demand, so

@@ -18,6 +18,16 @@
 // matrix under each registered scheduling policy (cfs, o1, coreidle, ...),
 // with a per-policy replay-determinism check, a per-scenario leaderboard,
 // and BENCH_policy_arena.json.
+//
+// Fleet-scale sweep service (src/tools/sweep/{grid,manifest,receipts,shard}):
+//   --make-manifest=FILE [--grid=SPEC]   expand a parameter grid and
+//       materialize the manifest of scenario instances (SPEC defaults to
+//       the 540-instance default fleet grid; see grid.h for the syntax).
+//   --shard=I/N --manifest=FILE --results=DIR [--threads=T]   claim work
+//       from the manifest with flock-based work stealing, append one JSON
+//       receipt line per completed scenario to DIR/shard-I.jsonl, and skip
+//       anything already receipted (resume). Merge and verify the shards
+//       with `wc-trend merge`.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -29,6 +39,9 @@
 #include "bench/bench_util.h"
 #include "src/modsched/policy_registry.h"
 #include "src/simkit/check.h"
+#include "src/tools/sweep/grid.h"
+#include "src/tools/sweep/manifest.h"
+#include "src/tools/sweep/shard.h"
 #include "src/tools/sweep/sweep.h"
 
 namespace wcores {
@@ -224,8 +237,59 @@ int RunBigMix(const BenchOptions& opts, uint64_t min_events, uint64_t seed) {
   return 0;
 }
 
+// Expand --grid into a manifest file: the materialization half of the
+// fleet service. Exits through the hard-error path on a bad spec.
+int RunMakeManifest(const std::string& path, const std::string& grid_spec) {
+  PrintHeader("Fleet sweep: materialize scenario-grid manifest",
+              "§4 methodology at fleet scale: parameter grid -> manifest of instances");
+  GridSpec spec;
+  std::string error;
+  if (!ParseGridSpec(grid_spec, &spec, &error)) {
+    std::fprintf(stderr, "invalid value '%s' for --grid: %s\n", grid_spec.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::vector<Scenario> scenarios = ExpandGrid(spec);
+  WriteManifest(path, scenarios);
+  std::printf("manifest %s: %zu scenario instances\n", path.c_str(), scenarios.size());
+  std::printf("  axes: %zu topos x %zu workloads x %zu feature sets x %zu policies x %zu"
+              " mixes x %d seeds\n",
+              spec.topos.size(), spec.workloads.size(), spec.feature_sets.size(),
+              spec.policies.size(), spec.mix_threads.size(), spec.seeds_per_cell);
+  return 0;
+}
+
+// One shard of a fleet run: claim scenarios from the manifest, append
+// receipts, resume past anything already done.
+int RunShardMode(const std::string& manifest_path, int shard_index, int shard_count,
+                 const std::string& results_dir, int threads) {
+  PrintHeader("Fleet sweep: sharded manifest runner",
+              "§4 methodology at fleet scale: receipts make distributed runs verifiable");
+  Manifest manifest;
+  std::string error;
+  if (!LoadManifest(manifest_path, &manifest, &error)) {
+    std::fprintf(stderr, "sweep_driver: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("shard %d/%d over %zu scenarios -> %s (threads=%d)\n", shard_index, shard_count,
+              manifest.scenarios.size(), results_dir.c_str(), threads);
+  ShardOptions shard_opts;
+  shard_opts.results_dir = results_dir;
+  shard_opts.shard_index = shard_index;
+  shard_opts.shard_count = shard_count;
+  shard_opts.threads = threads;
+  ShardReport report = RunShard(manifest.scenarios, shard_opts);
+  std::printf("shard %d/%d done: ran=%d skipped=%d contended=%d requeued=%d"
+              " (scenario wall %.1f ms)\n",
+              shard_index, shard_count, report.ran, report.skipped, report.contended,
+              report.requeued, report.wall_ms_total);
+  std::printf("receipts: %s\n", report.receipts_path.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   std::string threads_s, scale_s, random_s, seed_s, bigmix_s, policy_s;
+  std::string manifest_s, results_s, shard_s, make_manifest_s, grid_s;
   BenchOptions opts = ParseBenchArgs(
       argc, argv,
       {
@@ -237,18 +301,47 @@ int Main(int argc, char** argv) {
            "skip the matrix; run one huge streamed random mix and assert >= this many events"},
           {"policy", &policy_s,
            "cross-policy arena: run the matrix under this policy name, or 'all'"},
+          {"make-manifest", &make_manifest_s,
+           "expand --grid and write the fleet manifest to this path, then exit"},
+          {"grid", &grid_s, "grid spec for --make-manifest ('default' or key=v;... syntax)"},
+          {"shard", &shard_s, "run as fleet shard I/N over --manifest into --results"},
+          {"manifest", &manifest_s, "manifest file for --shard"},
+          {"results", &results_s, "results directory for --shard (receipts + claims)"},
       });
-  unsigned hw = std::thread::hardware_concurrency();
-  int max_threads = threads_s.empty() ? static_cast<int>(hw ? hw : 1) : std::stoi(threads_s);
-  if (max_threads < 1) {
-    max_threads = 1;
+  HostCores host = DetectHostCores();
+  int max_threads = static_cast<int>(
+      ParseIntFlag("threads", threads_s, host.cores, 1, 1 << 20));
+  double scale = ParseDoubleFlag("scale", scale_s, 0.25, 1e-6, 1e6);
+  int random_count = static_cast<int>(ParseIntFlag("random", random_s, 6, 0, 1 << 20));
+  uint64_t seed = ParseU64Flag("seed", seed_s, 99);
+
+  if (!make_manifest_s.empty()) {
+    return RunMakeManifest(make_manifest_s, grid_s.empty() ? "default" : grid_s);
   }
-  double scale = scale_s.empty() ? 0.25 : std::stod(scale_s);
-  int random_count = random_s.empty() ? 6 : std::stoi(random_s);
-  uint64_t seed = seed_s.empty() ? 99 : std::stoull(seed_s);
+  if (!shard_s.empty()) {
+    size_t slash = shard_s.find('/');
+    if (slash == std::string::npos) {
+      BadFlagValue("shard", shard_s, "I/N with 0 <= I < N");
+    }
+    int shard_count = static_cast<int>(
+        ParseIntFlag("shard", shard_s.substr(slash + 1), -1, 1, 1 << 20));
+    int shard_index = static_cast<int>(
+        ParseIntFlag("shard", shard_s.substr(0, slash), -1, 0, shard_count - 1));
+    if (manifest_s.empty() || results_s.empty()) {
+      std::fprintf(stderr, "--shard requires --manifest=FILE and --results=DIR\n");
+      return 2;
+    }
+    return RunShardMode(manifest_s, shard_index, shard_count, results_s,
+                        threads_s.empty() ? 1 : max_threads);
+  }
+  if (!manifest_s.empty() || !results_s.empty() || !grid_s.empty()) {
+    std::fprintf(stderr,
+                 "--manifest/--results/--grid only apply with --shard or --make-manifest\n");
+    return 2;
+  }
 
   if (!bigmix_s.empty()) {
-    return RunBigMix(opts, std::stoull(bigmix_s), seed);
+    return RunBigMix(opts, ParseU64Flag("big-mix", bigmix_s, 0), seed);
   }
   if (!policy_s.empty()) {
     return RunPolicyArena(opts, policy_s, scale, random_count, seed, max_threads);
@@ -265,8 +358,8 @@ int Main(int argc, char** argv) {
       s.stream = true;
     }
   }
-  std::printf("%zu scenarios, up to %d host threads (host has %u)\n\n", scenarios.size(),
-              max_threads, hw);
+  std::printf("%zu scenarios, up to %d host threads (host has %d%s)\n\n", scenarios.size(),
+              max_threads, host.cores, host.detected ? "" : ", detection failed");
 
   // Thread counts: 1, 2, 4, ... up to max_threads (always including both
   // endpoints), so the 1→4 scaling factor is directly measurable.
@@ -278,7 +371,12 @@ int Main(int argc, char** argv) {
 
   BenchReport report;
   report.bench = "sweep";
-  report.context_num["host_cores"] = hw;
+  // host_cores is the value the sweep actually used: when detection fails
+  // (hardware_concurrency() == 0) we sweep with 1 thread and must say 1,
+  // not 0, or trend tooling reads a zero-core host. The detection failure
+  // itself is reported explicitly alongside.
+  report.context_num["host_cores"] = host.cores;
+  report.context_num["host_cores_detected"] = host.detected ? 1 : 0;
   report.context_num["scenarios"] = static_cast<double>(scenarios.size());
   report.context_num["scale"] = scale;
 

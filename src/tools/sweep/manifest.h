@@ -1,0 +1,50 @@
+// The sweep manifest: a materialized list of scenario instances that shard
+// processes execute cooperatively.
+//
+// Format: JSON Lines. The first line is a header object
+//   {"wc_manifest": 1, "count": N}
+// followed by one self-contained object per scenario carrying every
+// Scenario field plus the instance's canonical fingerprint (grid.h). A
+// shard process reconstructs the exact Scenario values from the file alone
+// — the manifest, not the binary's flag defaults, is the unit of work
+// distribution — and the loader recomputes each fingerprint to reject
+// hand-edited or version-skewed manifests before any simulation runs.
+//
+// Scenario names must be unique within a manifest: they key the receipt
+// store (receipts.h), so a duplicate would silently alias two different
+// parameterizations onto one resume slot. Both the writer and the loader
+// enforce this.
+#ifndef SRC_TOOLS_SWEEP_MANIFEST_H_
+#define SRC_TOOLS_SWEEP_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tools/sweep/scenario.h"
+
+namespace wcores {
+
+// One scenario as a canonical single-line JSON object (no trailing newline).
+std::string ScenarioToJsonLine(const Scenario& s);
+
+// Inverse of ScenarioToJsonLine. Returns false and fills *error on
+// malformed input, unknown axis values, or a fingerprint that does not
+// match the reconstructed scenario.
+bool ScenarioFromJsonLine(const std::string& line, Scenario* out, std::string* error);
+
+struct Manifest {
+  std::vector<Scenario> scenarios;
+};
+
+// Writes header + one line per scenario. WC_CHECKs name uniqueness (a
+// duplicate here is a grid-construction bug, not an input error).
+void WriteManifest(const std::string& path, const std::vector<Scenario>& scenarios);
+
+// Loads and validates a manifest (header, per-line parse, fingerprint
+// recomputation, name uniqueness). Returns false and fills *error on any
+// violation; a manifest is trusted entirely or not at all.
+bool LoadManifest(const std::string& path, Manifest* out, std::string* error);
+
+}  // namespace wcores
+
+#endif  // SRC_TOOLS_SWEEP_MANIFEST_H_

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <thread>
 
+#include "src/simkit/check.h"
 #include "src/tools/sweep/trace_hash.h"
 
 namespace wcores {
@@ -29,6 +31,16 @@ uint64_t SweepReport::TotalSimEvents() const {
 }
 
 SweepReport RunSweep(const std::vector<Scenario>& scenarios, const SweepOptions& options) {
+  // Scenario::name is documented "unique within a sweep" and everything
+  // downstream — result rows, golden tables, receipt/resume keying in the
+  // fleet service — relies on it. Enforce instead of trusting.
+  {
+    std::set<std::string> names;
+    for (const Scenario& s : scenarios) {
+      WC_CHECK(names.insert(s.name).second, "duplicate scenario name in sweep");
+    }
+  }
+
   SweepReport report;
   report.results.resize(scenarios.size());
 

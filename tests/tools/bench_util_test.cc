@@ -60,6 +60,52 @@ TEST(BenchArgsDeathTest, ExtraFlagsListedInUsage) {
               ::testing::ExitedWithCode(2), "--threads=V");
 }
 
+TEST(BenchNumericFlags, ParsesValidValues) {
+  EXPECT_EQ(ParseIntFlag("threads", "", 8, 1, 64), 8);  // Empty = default.
+  EXPECT_EQ(ParseIntFlag("threads", "16", 8, 1, 64), 16);
+  EXPECT_EQ(ParseIntFlag("delta", "-3", 0, -10, 10), -3);
+  EXPECT_EQ(ParseU64Flag("seed", "", 42u), 42u);
+  EXPECT_EQ(ParseU64Flag("seed", "18446744073709551615", 0), UINT64_MAX);
+  EXPECT_EQ(ParseDoubleFlag("scale", "", 0.25, 0.0, 10.0), 0.25);
+  EXPECT_EQ(ParseDoubleFlag("scale", "0.5", 0.25, 0.0, 10.0), 0.5);
+}
+
+TEST(BenchNumericFlagsDeathTest, MalformedValuesAreHardErrors) {
+  // The bugfix contract: a typo'd numeric flag takes the same exit(2)
+  // hard-error path as an unknown flag — never an uncaught std::stoi throw.
+  EXPECT_EXIT(ParseIntFlag("threads", "abc", 1, 1, 64), ::testing::ExitedWithCode(2),
+              "invalid value 'abc' for --threads");
+  EXPECT_EXIT(ParseIntFlag("threads", "12junk", 1, 1, 64), ::testing::ExitedWithCode(2),
+              "invalid value");
+}
+
+TEST(BenchNumericFlagsDeathTest, RangeViolationsAreHardErrors) {
+  EXPECT_EXIT(ParseIntFlag("threads", "0", 1, 1, 64), ::testing::ExitedWithCode(2),
+              "an integer in \\[1, 64\\]");
+  EXPECT_EXIT(ParseIntFlag("threads", "9999999999999999999999", 1, 1, 64),
+              ::testing::ExitedWithCode(2), "invalid value");
+  EXPECT_EXIT(ParseU64Flag("seed", "-1", 0), ::testing::ExitedWithCode(2),
+              "an unsigned integer");
+  EXPECT_EXIT(ParseU64Flag("seed", "1.5", 0), ::testing::ExitedWithCode(2),
+              "an unsigned integer");
+  EXPECT_EXIT(ParseDoubleFlag("scale", "nan", 1, 0, 10), ::testing::ExitedWithCode(2),
+              "a number in");
+  EXPECT_EXIT(ParseDoubleFlag("scale", "11", 1, 0, 10), ::testing::ExitedWithCode(2),
+              "a number in \\[0, 10\\]");
+  EXPECT_EXIT(ParseDoubleFlag("scale", "x", 1, 0, 10), ::testing::ExitedWithCode(2),
+              "invalid value 'x' for --scale");
+}
+
+TEST(BenchHostCores, AlwaysAtLeastOne) {
+  // The detection-failure bugfix: whatever hardware_concurrency() says, the
+  // value recorded and used is >= 1, and `detected` says which case we hit.
+  HostCores host = DetectHostCores();
+  EXPECT_GE(host.cores, 1);
+  if (!host.detected) {
+    EXPECT_EQ(host.cores, 1);  // Fallback value is what gets reported.
+  }
+}
+
 TEST(BenchJson, EscapesStrings) {
   EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 }

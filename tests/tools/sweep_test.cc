@@ -110,6 +110,14 @@ TEST(Sweep, ThreadCountClampedToScenarios) {
   EXPECT_EQ(report.threads, 1);
 }
 
+TEST(SweepDeathTest, DuplicateScenarioNamesAreRejected) {
+  // Scenario::name keys result rows, golden tables, and the fleet receipt
+  // store; a silent alias would corrupt all three.
+  std::vector<Scenario> scenarios = RandomScenarios(5, 2);
+  scenarios[1].name = scenarios[0].name;
+  EXPECT_DEATH(RunSweep(scenarios, SweepOptions{}), "duplicate scenario name");
+}
+
 TEST(Sweep, EmptyBatch) {
   SweepReport report = RunSweep({}, SweepOptions{});
   EXPECT_TRUE(report.results.empty());
